@@ -1,0 +1,58 @@
+"""E12/E13: ablations of the design choices DESIGN.md calls out."""
+
+from __future__ import annotations
+
+from repro.bench.figures import (
+    ablation_edge_placement,
+    ablation_fabric,
+    ablation_pipeline_chunks,
+)
+
+
+def test_ablation_pipeline_chunks(benchmark, table_printer):
+    """E12: chunk-count sweep for the double-buffered update_phi."""
+    rows = table_printer(
+        benchmark,
+        ablation_pipeline_chunks,
+        "Ablation: update_phi pipeline chunk count (64 workers, K=12288)",
+    )
+    times = [r["update_phi_ms"] for r in rows]
+    # More chunks monotonically shrink the un-overlapped residual...
+    assert times == sorted(times, reverse=True)
+    # ...with diminishing returns: the 9->64 gain is smaller than 1->9.
+    by_chunks = {r["chunks"]: r["update_phi_ms"] for r in rows}
+    assert by_chunks[1] - by_chunks[9] > by_chunks[9] - by_chunks[64]
+    # chunks=1 degenerates to ~no overlap inside update_phi.
+    assert by_chunks[1] > 1.8 * by_chunks[64]
+
+
+def test_ablation_fabric(benchmark, table_printer):
+    """RDMA/InfiniBand vs commodity 10 GbE: what the fabric buys."""
+    rows = table_printer(
+        benchmark,
+        ablation_fabric,
+        "Ablation: FDR InfiniBand + RDMA vs 10 GbE + TCP (64 workers)",
+    )
+    for r in rows:
+        assert r["slowdown"] > 2.5
+        assert r["load_pi_eth_ms"] > 5 * r["load_pi_ib_ms"]
+    # The penalty grows with K (load_pi share grows).
+    slowdowns = [r["slowdown"] for r in rows]
+    assert slowdowns == sorted(slowdowns)
+
+
+def test_ablation_edge_placement(benchmark, table_printer):
+    """E13: scatter-E-with-minibatch (paper design) vs replicating E."""
+    rows = table_printer(
+        benchmark,
+        ablation_edge_placement,
+        "Ablation: scatter E-slices vs replicate E at workers",
+    )
+    for r in rows:
+        # Replication saves a little per-iteration time...
+        assert r["replicate_total_ms"] < r["scatter_total_ms"]
+        assert r["saving_pct"] < 10.0  # ...but only a few percent...
+        # ...while costing 13.5 GB of every worker's 64 GB (>20% of the
+        # pi budget) — the paper's trade is the right one.
+        assert r["edge_replica_GiB_per_worker"] > 12.0
+        assert r["pi_budget_lost_pct"] > 20.0

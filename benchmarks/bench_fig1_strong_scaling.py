@@ -1,0 +1,59 @@
+"""E2/E3 / Figure 1: strong scaling of 2048 iterations on com-Friendster
+(K=1024, M=16384, n=32) across cluster sizes, plus speedup vs 8 workers."""
+
+from __future__ import annotations
+
+from repro.bench.figures import fig1_strong_scaling
+from repro.cluster.spec import das5
+from repro.graph.datasets import DATASETS
+
+
+def test_fig1a_execution_time(benchmark, table_printer):
+    rows = table_printer(
+        benchmark,
+        fig1_strong_scaling,
+        "Figure 1-a: execution time of 2048 iterations (com-Friendster, K=1024)",
+    )
+    totals = [r["total_s"] for r in rows]
+    # Paper: execution time steadily decreases with cluster size.
+    assert totals == sorted(totals, reverse=True)
+    # update_phi_pi dominates every configuration.
+    for r in rows:
+        assert r["update_phi_pi_s"] > r["minibatch_deploy_s"]
+        assert r["update_phi_pi_s"] > r["update_beta_theta_s"]
+        assert r["update_phi_pi_s"] > 0.5 * r["total_s"]
+    # update_beta_theta stays relatively constant across cluster sizes.
+    betas = [r["update_beta_theta_s"] for r in rows]
+    assert max(betas) / min(betas) < 2.0
+
+
+def test_fig1b_speedup(benchmark, table_printer):
+    rows = table_printer(
+        benchmark,
+        fig1_strong_scaling,
+        "Figure 1-b: speedup vs 8 workers",
+        columns=["workers", "speedup_vs_8"],
+    )
+    speedups = [r["speedup_vs_8"] for r in rows]
+    assert speedups == sorted(speedups)  # monotone increase
+    # Sub-linear: the curve slows down for larger clusters.
+    ideal = rows[-1]["workers"] / rows[0]["workers"]
+    assert 1.5 < speedups[-1] < ideal
+    # Marginal efficiency decreases (concave curve).
+    eff = [s / (r["workers"] / 8) for s, r in zip(speedups, rows)]
+    assert eff == sorted(eff, reverse=True)
+
+
+def test_fig1_memory_gate(benchmark):
+    """The x-axis starts at 8 workers: 4 workers cannot hold pi."""
+    fr = DATASETS["com-Friendster"]
+
+    def check():
+        return (
+            das5(4).fits_in_memory(fr.n_vertices, 1024),
+            das5(8).fits_in_memory(fr.n_vertices, 1024),
+        )
+
+    too_small, fits = benchmark(check)
+    assert not too_small
+    assert fits

@@ -1,0 +1,45 @@
+"""E4 / Figure 2: weak scaling — K grows proportionally with cluster size;
+the time per iteration must stay nearly flat."""
+
+from __future__ import annotations
+
+from repro.bench.figures import fig2_weak_scaling
+
+
+def test_fig2_weak_scaling(benchmark, table_printer):
+    rows = table_printer(
+        benchmark,
+        fig2_weak_scaling,
+        "Figure 2: weak scaling (K = 128 x workers)",
+    )
+    secs = [r["sec_per_iteration"] for r in rows]
+    # Paper: 'the relative change in the average execution time per
+    # iteration is insignificant'.
+    assert max(secs) / min(secs) < 1.25
+    # Fig 2-b: communities grow linearly with the cluster.
+    ks = [r["communities"] for r in rows]
+    ws = [r["workers"] for r in rows]
+    assert all(k == 128 * w for k, w in zip(ks, ws))
+
+
+def test_fig2_constant_work_per_worker(benchmark):
+    """The invariant behind the flat curve: per-worker kernel elements in
+    update_phi are constant when K scales with C."""
+    from repro.cluster.costmodel import WorkloadShape
+    from repro.graph.datasets import DATASETS
+
+    fr = DATASETS["com-Friendster"]
+
+    def elements(c):
+        shape = WorkloadShape(
+            n_vertices=fr.n_vertices,
+            n_edges=fr.n_edges,
+            n_communities=128 * c,
+            heldout_pairs=0,
+        )
+        return (
+            shape.mini_batch_vertices / c * shape.neighbor_sample_size * shape.n_communities
+        )
+
+    values = benchmark(lambda: [elements(c) for c in (8, 16, 32, 64)])
+    assert max(values) == min(values)

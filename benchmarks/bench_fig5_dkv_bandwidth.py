@@ -1,0 +1,44 @@
+"""E9 / Figure 5: DKV store read bandwidth vs qperf across payload sizes,
+both running on the same simulated FDR InfiniBand fabric."""
+
+from __future__ import annotations
+
+from repro.bench.figures import fig5_dkv_vs_qperf
+
+
+def test_fig5_dkv_vs_qperf(benchmark, table_printer):
+    rows = table_printer(
+        benchmark,
+        fig5_dkv_vs_qperf,
+        "Figure 5: bandwidth vs payload size (GB/s)",
+    )
+    # qperf read ~= qperf write for payloads >= 256 B (corroborating Herd).
+    for r in rows:
+        assert abs(r["qperf_read_GBps"] - r["qperf_write_GBps"]) < 0.15 * r["qperf_read_GBps"]
+    # DKV falls short of qperf below 4 KB (per-request overhead)...
+    small = [r for r in rows if r["payload_B"] < 4096]
+    assert all(r["dkv_vs_qperf_pct"] < 97.0 for r in small)
+    # ...and comes very close between 8 KB and 512 KB.
+    mid = [r for r in rows if 8192 <= r["payload_B"] <= 524288]
+    assert all(r["dkv_vs_qperf_pct"] > 90.0 for r in mid)
+    # Bandwidth is monotone in payload size for both.
+    dkv = [r["dkv_read_GBps"] for r in rows]
+    assert dkv == sorted(dkv)
+
+
+def test_fig5_pi_row_payloads(benchmark, table_printer):
+    """The payloads that matter to the application: one pi row is
+    (K+1) x 4 bytes — 'typically thousands to hundreds of thousands of
+    4-byte floats', squarely in the DKV-close-to-qperf regime."""
+
+    def rows_for_k():
+        from repro.bench.figures import fig5_dkv_vs_qperf
+
+        payloads = [(k + 1) * 4 for k in (1024, 4096, 12288, 131072)]
+        return fig5_dkv_vs_qperf(payloads=payloads, n_ops=64)
+
+    rows = table_printer(
+        benchmark, rows_for_k, "Figure 5 (application payloads = pi rows)"
+    )
+    big = [r for r in rows if r["payload_B"] >= 16384]
+    assert all(r["dkv_vs_qperf_pct"] > 85.0 for r in big)

@@ -1,0 +1,104 @@
+"""Micro-benchmarks of the numerical kernels (pytest-benchmark timings).
+
+These are real wall-clock measurements on this machine — the per-element
+throughputs ground the cost model's kernel-rate constants.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import gradients
+
+
+@pytest.fixture(scope="module")
+def phi_workload():
+    rng = np.random.default_rng(0)
+    m, n, k = 256, 32, 128
+    pi_a = rng.dirichlet(np.ones(k), size=m)
+    phi_sum = rng.gamma(5.0, 1.0, size=m) + 1.0
+    pi_b = rng.dirichlet(np.ones(k), size=(m, n))
+    y = rng.random((m, n)) < 0.1
+    beta = rng.uniform(0.1, 0.9, k)
+    mask = np.ones((m, n), dtype=bool)
+    return pi_a, phi_sum, pi_b, y, beta, mask
+
+
+def test_phi_gradient_kernel(benchmark, phi_workload):
+    pi_a, phi_sum, pi_b, y, beta, mask = phi_workload
+    grad = benchmark(
+        gradients.phi_gradient_sum, pi_a, phi_sum, pi_b, y, beta, 1e-4, mask
+    )
+    assert grad.shape == pi_a.shape
+    elements = pi_a.shape[0] * y.shape[1] * pi_a.shape[1]
+    benchmark.extra_info["kernel_elements"] = elements
+
+
+def test_phi_update_kernel(benchmark, phi_workload):
+    pi_a, phi_sum, pi_b, y, beta, mask = phi_workload
+    rng = np.random.default_rng(1)
+    phi = pi_a * phi_sum[:, None]
+    grad = gradients.phi_gradient_sum(pi_a, phi_sum, pi_b, y, beta, 1e-4, mask)
+    noise = rng.standard_normal(phi.shape)
+    out = benchmark(gradients.update_phi, phi, grad, 0.01, 0.1, 100.0, noise)
+    assert (out > 0).all()
+
+
+def test_theta_gradient_kernel(benchmark):
+    rng = np.random.default_rng(2)
+    e, k = 512, 128
+    pi_a = rng.dirichlet(np.ones(k), size=e)
+    pi_b = rng.dirichlet(np.ones(k), size=e)
+    y = (rng.random(e) < 0.5).astype(np.int64)
+    theta = rng.gamma(3.0, 1.0, size=(k, 2)) + 0.5
+    grad = benchmark(gradients.theta_gradient_sum, pi_a, pi_b, y, theta, 1e-4)
+    assert grad.shape == (k, 2)
+
+
+def test_perplexity_kernel(benchmark):
+    from repro.core.perplexity import pair_probabilities
+
+    rng = np.random.default_rng(3)
+    n, k, h = 5000, 64, 4000
+    pi = rng.dirichlet(np.ones(k), size=n)
+    beta = rng.uniform(0.1, 0.9, k)
+    pairs = rng.integers(0, n, size=(h, 2))
+    labels = rng.random(h) < 0.5
+    probs = benchmark(pair_probabilities, pi, beta, pairs, labels, 1e-4)
+    assert probs.shape == (h,)
+
+
+def test_graph_has_edges_kernel(benchmark):
+    from repro.graph.generators import generate_ammsb_graph
+
+    rng = np.random.default_rng(4)
+    graph, _ = generate_ammsb_graph(20_000, 32, rng=rng, target_edges=200_000)
+    pairs = rng.integers(0, 20_000, size=(100_000, 2))
+    out = benchmark(graph.has_edges, pairs)
+    assert out.shape == (100_000,)
+
+
+def test_dkv_read_batch(benchmark):
+    from repro.cluster.dkv import DKVStore
+
+    store = DKVStore(50_000, 129, 8)
+    rng = np.random.default_rng(5)
+    store.populate(rng.standard_normal((50_000, 129)))
+    keys = rng.integers(0, 50_000, size=8448)
+    values, traffic = benchmark(store.read_batch, 3, keys)
+    assert values.shape == (8448, 129)
+
+
+def test_minibatch_sampling(benchmark):
+    from repro.config import AMMSBConfig
+    from repro.core.minibatch import MinibatchSampler
+    from repro.graph.generators import generate_ammsb_graph
+
+    rng = np.random.default_rng(6)
+    graph, _ = generate_ammsb_graph(10_000, 32, rng=rng, target_edges=100_000)
+    cfg = AMMSBConfig(n_communities=32, mini_batch_vertices=512)
+    ms = MinibatchSampler(graph, cfg)
+    r = np.random.default_rng(7)
+    mb = benchmark(ms.sample, r)
+    assert mb.n_vertices > 0

@@ -1,0 +1,24 @@
+"""E1 / Table II: the six SNAP datasets and their generated stand-ins."""
+
+from __future__ import annotations
+
+from repro.bench.figures import table2
+from repro.graph.datasets import DATASETS
+
+
+def test_table2(benchmark, table_printer):
+    rows = table_printer(
+        benchmark,
+        lambda: table2(scale=1e-3),
+        "Table II: SNAP datasets (full scale + synthetic stand-in)",
+    )
+    assert len(rows) == 6
+    # Stand-ins preserve average degree within 35%.
+    for r in rows:
+        full = 2 * r["#Edges"] / r["#Vertices"]
+        standin = 2 * r["standin |E|"] / r["standin N"]
+        assert abs(standin - full) / full < 0.35
+    # Friendster is the largest, as in the paper.
+    fr = next(r for r in rows if r["Name"] == "com-Friendster")
+    assert fr["#Edges"] == max(r["#Edges"] for r in rows)
+    assert set(r["Name"] for r in rows) == set(DATASETS)

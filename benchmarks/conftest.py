@@ -1,0 +1,27 @@
+"""Shared helpers for the figure/table benchmarks.
+
+Every benchmark both *times* its harness (pytest-benchmark) and *prints*
+the regenerated table so ``pytest benchmarks/ --benchmark-only -s`` shows
+the paper's rows. Shape assertions (who wins, what grows) live next to
+the prints — absolute numbers are simulated, shapes are checked.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_and_print(benchmark, fn, title, columns=None, rounds=1):
+    """Benchmark ``fn`` once (the sweeps are deterministic), print rows."""
+    from repro.bench.harness import format_table
+
+    benchmark.pedantic(fn, rounds=rounds, iterations=1, warmup_rounds=0)
+    rows = fn()
+    print()
+    print(format_table(rows, columns=columns, title=title))
+    return rows
+
+
+@pytest.fixture()
+def table_printer():
+    return run_and_print

@@ -1,0 +1,75 @@
+"""Quickstart: detect overlapping communities in a small graph.
+
+Generates a graph with planted overlapping communities, runs the
+sequential SG-MCMC sampler (Algorithm 1 of the paper), and reports
+held-out perplexity plus recovery metrics against the planted truth.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import AMMSBConfig, StepSizeConfig
+from repro.core.estimation import PosteriorMean, extract_communities
+from repro.core.sampler import AMMSBSampler
+from repro.graph.generators import planted_overlapping_graph
+from repro.graph.metrics import best_match_f1, overlapping_nmi
+from repro.graph.split import split_heldout
+
+
+def main() -> None:
+    # 1. A 400-vertex graph; every vertex belongs to 1-2 of 6 communities.
+    rng = np.random.default_rng(0)
+    graph, truth = planted_overlapping_graph(
+        n_vertices=400,
+        n_communities=6,
+        memberships_per_vertex=2,
+        p_in=0.35,
+        p_out=0.001,
+        rng=rng,
+    )
+    print(f"graph: {graph}")
+
+    # 2. Hold out 3% of links (plus matched non-links) for perplexity.
+    split = split_heldout(graph, heldout_fraction=0.03, rng=rng)
+    print(f"held-out pairs: {split.n_heldout} ({split.n_links} links)")
+
+    # 3. Configure and run the SG-MCMC sampler.
+    config = AMMSBConfig(
+        n_communities=6,
+        mini_batch_vertices=64,
+        neighbor_sample_size=32,
+        step_phi=StepSizeConfig(a=0.05),
+        step_theta=StepSizeConfig(a=0.05),
+        seed=42,
+    )
+    sampler = AMMSBSampler(split.train, config, heldout=split)
+    posterior = PosteriorMean(graph.n_vertices, config.n_communities)
+
+    for round_idx in range(5):
+        sampler.run(800, perplexity_every=50)
+        print(
+            f"iteration {sampler.iteration:5d}  "
+            f"perplexity {sampler.perplexity_estimator.value():.3f}"
+        )
+    # Average a handful of late posterior samples for the point estimate.
+    for _ in range(4):
+        sampler.run(250)
+        posterior.record(sampler.state.pi, sampler.state.beta)
+
+    # 4. Extract overlapping communities from the posterior mean.
+    covers = extract_communities(posterior.pi, threshold=0.25)
+    print(f"\nrecovered {len(covers)} communities, sizes: {[c.size for c in covers]}")
+    f1 = best_match_f1(covers, truth.covers)
+    nmi = overlapping_nmi(covers, truth.covers, graph.n_vertices)
+    print(f"recovery vs planted truth: best-match F1 = {f1:.3f}, NMI = {nmi:.3f}")
+
+    overlap = sum(1 for v in range(graph.n_vertices)
+                  if sum(v in c for c in covers) >= 2)
+    print(f"vertices assigned to >= 2 communities: {overlap}")
+
+
+if __name__ == "__main__":
+    main()

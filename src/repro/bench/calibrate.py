@@ -1,0 +1,63 @@
+"""Cost-model calibration against the paper's Table III.
+
+The cost model's constants (``repro.cluster.costmodel.CostModel``) were
+fitted to the paper's own stage breakdown for com-Friendster on 65 nodes
+with K = 12288. This module documents the derivation and provides
+:func:`calibration_report` so the fit can be re-checked after any model
+change (``tests/test_costmodel.py`` asserts every stage within 20%).
+
+Derivation of each constant (times from Table III, non-pipelined column):
+
+- ``c_draw_per_vertex = 2.7 us``: draw/deploy is 45.6 ms for M = 16384
+  mini-batch vertices; the scatter payload (~16384 * 55 * 8 B of adjacency
+  at 6.8 GB/s) accounts for ~1 ms, leaving ~44.5 ms of master-side
+  rejection sampling and bookkeeping: 44.5 ms / 16384 = 2.7 us.
+- node kernel rate ~ 1.36e9 elem/s: update_phi compute is 74 ms for
+  (16384/64) * 32 * 12288 = 100.7e6 kernel elements -> 8.5e7 per core
+  over 16 cores (the kernel streams ~24 B/element, well inside the 50
+  GB/s node bandwidth).
+- ``dkv_read_bw_loaded = 2.08 GB/s``: loading pi moves 256 * 33 rows *
+  (K+1) * 4 B = 415 MB per worker per iteration in 205 ms. The gap to the
+  6.8 GB/s single-stream roofline (Figure 5) is all-to-all contention: 64
+  clients hammer 64 servers while 16 compute threads share each host's
+  memory bus.
+- ``c_dkv_request = 0.5 us``: requests are posted in deep batches; a
+  larger per-request cost would break the flat weak-scaling curve
+  (Figure 2), because smaller clusters issue more requests per worker.
+- ``c_beta_element = 8.3 ns``: update_beta is 25.9 ms for ~(16384/64)
+  edges * 12288 elements; the theta kernel does scattered accumulation,
+  an order of magnitude more expensive per element than the streaming phi
+  kernel.
+- perplexity interval ~ 144: Table III's stage sum (360 ms) vs its
+  reported total (450 ms) leaves ~90 ms/iteration unattributed; one full
+  held-out pass (|E_h| ~ 2% of edges) costs ~13 s at K = 12288, which
+  amortizes to ~90 ms at an interval of ~144 iterations — consistent with
+  the paper's "perplexity is not evaluated at every iteration, but at
+  regular intervals".
+"""
+
+from __future__ import annotations
+
+from repro.bench.figures import TABLE3_PAPER_MS, table3_breakdown
+
+
+def calibration_report() -> list[dict]:
+    """Model-vs-paper rows with relative errors for every Table III stage."""
+    rows = table3_breakdown()
+    for row in rows:
+        paper = row["paper_nonpipelined_ms"]
+        model = row["model_nonpipelined_ms"]
+        row["rel_error_pct"] = 100.0 * (model - paper) / paper
+    return rows
+
+
+def max_relative_error() -> float:
+    """Largest |relative error| across calibrated stages (fraction)."""
+    return max(abs(r["rel_error_pct"]) for r in calibration_report()) / 100.0
+
+
+if __name__ == "__main__":  # pragma: no cover - manual tool
+    from repro.bench.harness import format_table
+
+    print(format_table(calibration_report(), title="Table III calibration"))
+    print(f"\nmax relative error: {max_relative_error():.1%}")

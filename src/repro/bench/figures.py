@@ -1,0 +1,439 @@
+"""Experiment definitions: one function per paper table/figure.
+
+Every function returns a list of row-dicts ready for
+:func:`repro.bench.harness.format_table`; the ``benchmarks/`` files print
+them and assert the qualitative shapes the paper reports. Paper-scale
+timing experiments (Figs 1-4, Table III) use the analytic mode; the DKV
+micro-benchmark (Fig 5) uses the discrete-event simulator; convergence
+(Fig 6) runs the real distributed sampler on the synthetic SNAP stand-ins
+and maps iteration counts onto a full-scale time axis with the cost model.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.cluster.costmodel import CostModel, SingleNodeModel, WorkloadShape
+from repro.cluster.spec import DAS5_NODE, HPC_CLOUD_NODE, ClusterSpec, das5
+from repro.config import AMMSBConfig, StepSizeConfig
+from repro.dist.analytic import analytic_iteration, dataset_shape
+from repro.graph.datasets import DATASETS, load_dataset
+
+# ---------------------------------------------------------------------------
+# Table II
+# ---------------------------------------------------------------------------
+
+
+def table2(scale: float = 1e-3) -> list[dict]:
+    """Table II: the six SNAP datasets, full scale + generated stand-in."""
+    rows = []
+    for name, spec in DATASETS.items():
+        graph, truth, _ = load_dataset(name, scale=scale)
+        rows.append(
+            {
+                "Name": name,
+                "#Vertices": spec.n_vertices,
+                "#Edges": spec.n_edges,
+                "#GT communities": spec.n_ground_truth_communities,
+                "standin N": graph.n_vertices,
+                "standin |E|": graph.n_edges,
+                "standin K": truth.n_communities,
+                "Description": spec.description,
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 1: strong scaling (com-Friendster, K=1024, M=16384, n=32, 2048 it)
+# ---------------------------------------------------------------------------
+
+
+def fig1_strong_scaling(
+    worker_counts: Sequence[int] = (8, 16, 24, 32, 48, 64),
+    n_communities: int = 1024,
+    n_iterations: int = 2048,
+    pipelined: bool = True,
+) -> list[dict]:
+    shape = dataset_shape("com-Friendster", n_communities)
+    rows = []
+    for c in worker_counts:
+        t = analytic_iteration(shape, cluster=das5(c), pipelined=pipelined)
+        rows.append(
+            {
+                "workers": c,
+                "total_s": t.total * n_iterations,
+                "update_phi_pi_s": (t.update_phi + t.update_pi) * n_iterations,
+                "minibatch_deploy_s": t.draw_deploy * n_iterations,
+                "update_beta_theta_s": t.update_beta_theta * n_iterations,
+            }
+        )
+    base = rows[0]["total_s"]
+    for r in rows:
+        r["speedup_vs_8"] = base / r["total_s"]
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 2: weak scaling (K proportional to cluster size)
+# ---------------------------------------------------------------------------
+
+
+def fig2_weak_scaling(
+    worker_counts: Sequence[int] = (8, 16, 24, 32, 48, 64),
+    communities_per_worker: int = 128,
+) -> list[dict]:
+    fr = DATASETS["com-Friendster"]
+    rows = []
+    for c in worker_counts:
+        shape = WorkloadShape(
+            n_vertices=fr.n_vertices,
+            n_edges=fr.n_edges,
+            n_communities=communities_per_worker * c,
+            heldout_pairs=0,
+        )
+        t = analytic_iteration(shape, cluster=das5(c), pipelined=True)
+        rows.append(
+            {
+                "workers": c,
+                "communities": shape.n_communities,  # Fig 2-b
+                "sec_per_iteration": t.total,  # Fig 2-a
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 3: pipelining gain vs K (64 workers, 1024 iterations)
+# ---------------------------------------------------------------------------
+
+
+def fig3_pipeline(
+    k_values: Sequence[int] = (1024, 2048, 4096, 8192, 12288),
+    n_workers: int = 64,
+    n_iterations: int = 1024,
+) -> list[dict]:
+    rows = []
+    cm = CostModel(das5(n_workers))
+    for k in k_values:
+        shape = dataset_shape("com-Friendster", k)
+        single = cm.iteration(shape, pipelined=False).total * n_iterations
+        double = cm.iteration(shape, pipelined=True).total * n_iterations
+        rows.append(
+            {
+                "communities": k,
+                "single_buffer_s": single,
+                "double_buffer_s": double,
+                "gain_s": single - double,
+                "gain_pct": 100.0 * (single - double) / single,
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Table III: stage breakdown (com-Friendster, 65 nodes, K=12288)
+# ---------------------------------------------------------------------------
+
+#: Paper's measured values, ms per iteration.
+TABLE3_PAPER_MS = {
+    "total": (450.0, 365.0),
+    "draw_deploy": (45.6, None),
+    "update_phi": (285.0, 241.0),
+    "update_pi": (3.8, 4.6),
+    "update_beta_theta": (25.9, 33.6),
+    "load_pi": (205.0, 209.0),
+    "update_phi_compute": (74.0, 74.0),
+}
+
+
+def table3_breakdown(n_workers: int = 64, n_communities: int = 12288) -> list[dict]:
+    shape = dataset_shape("com-Friendster", n_communities)
+    cm = CostModel(das5(n_workers))
+    plain = cm.iteration(shape, pipelined=False).as_dict()
+    piped = cm.iteration(shape, pipelined=True).as_dict()
+    rows = []
+    for stage, (paper_np, paper_p) in TABLE3_PAPER_MS.items():
+        rows.append(
+            {
+                "stage": stage,
+                "paper_nonpipelined_ms": paper_np,
+                "model_nonpipelined_ms": plain[stage] * 1e3,
+                "paper_pipelined_ms": paper_p if paper_p is not None else "-",
+                "model_pipelined_ms": piped[stage] * 1e3,
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 4: horizontal vs vertical scaling
+# ---------------------------------------------------------------------------
+
+
+def fig4a_vertical_dblp(
+    k_values: Sequence[int] = (1024, 2048, 4096, 8192, 16384),
+) -> list[dict]:
+    """Fig 4-a: com-DBLP on HPC Cloud 40/16 cores vs one 16-core DAS5 node."""
+    dblp = DATASETS["com-DBLP"]
+    rows = []
+    for k in k_values:
+        shape = WorkloadShape(
+            n_vertices=dblp.n_vertices,
+            n_edges=dblp.n_edges,
+            n_communities=k,
+            heldout_pairs=0,
+        )
+        rows.append(
+            {
+                "communities": k,
+                "hpc_cloud_40c_s": SingleNodeModel(HPC_CLOUD_NODE, 40).iteration(shape).total,
+                "hpc_cloud_16c_s": SingleNodeModel(HPC_CLOUD_NODE, 16).iteration(shape).total,
+                "das5_16c_s": SingleNodeModel(DAS5_NODE, 16).iteration(shape).total,
+            }
+        )
+    return rows
+
+
+def fig4b_horizontal_vs_vertical(
+    k_values: Sequence[int] = (512, 1024, 2048, 3072),
+) -> list[dict]:
+    """Fig 4-b: com-Friendster, 64 DAS5 nodes vs the 40-core 1 TB VM.
+
+    K stops at ~3072: above that pi no longer fits in the VM's 1 TB (the
+    vertical approach hits its memory wall long before the cluster does).
+    """
+    rows = []
+    for k in k_values:
+        shape = dataset_shape("com-Friendster", k, heldout_fraction=0.0)
+        dist = analytic_iteration(shape, cluster=das5(64), pipelined=True).total
+        single = SingleNodeModel(HPC_CLOUD_NODE, 40).iteration(shape).total
+        rows.append(
+            {
+                "communities": k,
+                "das5_64nodes_s": dist,
+                "hpc_cloud_40c_s": single,
+                "distributed_speedup": single / dist,
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 5: DKV store bandwidth vs qperf
+# ---------------------------------------------------------------------------
+
+
+def fig5_dkv_vs_qperf(
+    payloads: Sequence[int] = (256, 1024, 4096, 16384, 65536, 262144, 1048576),
+    n_ops: int = 128,
+) -> list[dict]:
+    from repro.cluster.dkv import dkv_bandwidth
+    from repro.sim.qperf import run_qperf
+    from repro.sim.rdma import RdmaOpType
+
+    rows = []
+    for p in payloads:
+        qperf_read = run_qperf(p, op_type=RdmaOpType.READ, n_ops=n_ops).bandwidth
+        qperf_write = run_qperf(p, op_type=RdmaOpType.WRITE, n_ops=n_ops).bandwidth
+        dkv = dkv_bandwidth(p, n_requests=n_ops)
+        rows.append(
+            {
+                "payload_B": p,
+                "qperf_read_GBps": qperf_read / 1e9,
+                "qperf_write_GBps": qperf_write / 1e9,
+                "dkv_read_GBps": dkv / 1e9,
+                "dkv_vs_qperf_pct": 100.0 * dkv / qperf_read,
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 6: convergence of the six datasets
+# ---------------------------------------------------------------------------
+
+#: Paper configuration per sub-figure: (workers, K at full scale).
+FIG6_CONFIG = {
+    "com-Friendster": (64, 12288),
+    "com-LiveJournal": (64, 98304),
+    "com-Orkut": (64, 131072),
+    "com-Youtube": (13, 8385),
+    "com-DBLP": (23, 13477),
+    "com-Amazon": (23, 75149),
+}
+
+
+def fig6_convergence(
+    dataset: str,
+    scale: float = 5e-4,
+    n_iterations: int = 3000,
+    checkpoint_every: int = 250,
+    n_workers: Optional[int] = None,
+    seed: int = 0,
+) -> list[dict]:
+    """Convergence on a stand-in + full-scale simulated time axis.
+
+    The real distributed sampler runs on the scaled stand-in; the
+    wall-clock column maps each iteration onto the *full-scale* per-
+    iteration time from the cost model under the paper's Fig 6 cluster
+    configuration, which is how the 'hours to converge' shape of Figure 6
+    is reproduced without a 65-node cluster.
+    """
+    from repro.cluster.spec import das5 as _das5
+    from repro.dist.sampler import DistributedAMMSBSampler
+    from repro.graph.split import split_heldout
+
+    workers_full, k_full = FIG6_CONFIG[dataset]
+    if n_workers is None:
+        n_workers = min(4, workers_full)
+
+    graph, truth, spec = load_dataset(dataset, scale=scale)
+    split = split_heldout(graph, 0.02, np.random.default_rng(seed))
+    k_standin = truth.n_communities
+    cfg = AMMSBConfig(
+        n_communities=k_standin,
+        mini_batch_vertices=max(128, graph.n_vertices // 16),
+        neighbor_sample_size=32,
+        seed=seed,
+        step_phi=StepSizeConfig(a=0.05),
+        step_theta=StepSizeConfig(a=0.05),
+    )
+    sampler = DistributedAMMSBSampler(
+        split.train, cfg, cluster=_das5(n_workers), heldout=split, pipelined=True
+    )
+
+    # Full-scale per-iteration time under the paper's configuration.
+    shape_full = dataset_shape(dataset, k_full)
+    t_full = analytic_iteration(
+        shape_full, cluster=_das5(workers_full), pipelined=True
+    ).total
+
+    rows = []
+    for it in range(0, n_iterations, checkpoint_every):
+        sampler.run(checkpoint_every)
+        perp = sampler.evaluate_perplexity()
+        rows.append(
+            {
+                "dataset": dataset,
+                "iteration": sampler.iteration,
+                "standin_perplexity": perp,
+                "sim_standin_s": sampler.timing.total_seconds,
+                "projected_fullscale_h": sampler.iteration * t_full / 3600.0,
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Ablations
+# ---------------------------------------------------------------------------
+
+
+def ablation_pipeline_chunks(
+    chunk_counts: Sequence[int] = (1, 2, 4, 9, 16, 32, 64),
+    n_communities: int = 12288,
+) -> list[dict]:
+    """E12: update_phi chunk-count sweep (Section III-D double buffering).
+
+    chunks=1 degenerates to no overlap inside update_phi; large counts
+    approach max(load, compute) but pay per-chunk overhead in reality (not
+    modeled), so the paper's implementation uses a moderate count.
+    """
+    shape = dataset_shape("com-Friendster", n_communities)
+    rows = []
+    for c in chunk_counts:
+        cm = CostModel(das5(64), pipeline_chunks=c)
+        t = cm.iteration(shape, pipelined=True)
+        rows.append(
+            {
+                "chunks": c,
+                "update_phi_ms": t.update_phi * 1e3,
+                "total_ms": t.total * 1e3,
+            }
+        )
+    return rows
+
+
+def ablation_fabric(
+    k_values: Sequence[int] = (1024, 4096, 12288),
+    n_workers: int = 64,
+) -> list[dict]:
+    """Ablation: FDR InfiniBand + RDMA vs 10 GbE + kernel TCP.
+
+    The paper leans on RDMA for the DKV store (Section III-B). Replacing
+    the fabric with commodity Ethernet inflates load_pi (the dominant
+    stage) by the bandwidth ratio and per-message costs, quantifying how
+    much of the system's performance is bought by the fabric.
+    """
+    from repro.sim.network import NetworkParams
+
+    rows = []
+    for k in k_values:
+        shape = dataset_shape("com-Friendster", k)
+        ib = CostModel(das5(n_workers)).iteration(shape, pipelined=True)
+        eth_cluster = ClusterSpec(
+            n_workers=n_workers, network=NetworkParams.ethernet_10g()
+        )
+        # Ethernet also lowers the loaded DKV bandwidth proportionally to
+        # the line-rate ratio.
+        ratio = NetworkParams.ethernet_10g().bandwidth / NetworkParams().bandwidth
+        eth_model = CostModel(
+            eth_cluster,
+            dkv_read_bw_loaded=CostModel(eth_cluster).dkv_read_bw_loaded * ratio,
+            c_dkv_request=5e-6,  # kernel TCP per-request cost
+        )
+        eth = eth_model.iteration(shape, pipelined=True)
+        rows.append(
+            {
+                "communities": k,
+                "infiniband_ms": ib.total * 1e3,
+                "ethernet_ms": eth.total * 1e3,
+                "slowdown": eth.total / ib.total,
+                "load_pi_ib_ms": ib.load_pi * 1e3,
+                "load_pi_eth_ms": eth.load_pi * 1e3,
+            }
+        )
+    return rows
+
+
+def ablation_edge_placement(
+    worker_counts: Sequence[int] = (8, 16, 32, 64),
+    n_communities: int = 1024,
+) -> list[dict]:
+    """E13: scatter-E-with-minibatch (the paper's design) vs replicating E
+    at every worker (Section III-A trade-off).
+
+    Replication removes the per-iteration E-slice scatter but costs every
+    worker 13.5 GB of RAM for com-Friendster — RAM that would otherwise
+    hold pi shards, raising the minimum cluster size.
+    """
+    fr = DATASETS["com-Friendster"]
+    edge_bytes = fr.n_edges * 2 * 4  # directed representation, 32-bit ids
+    shape = dataset_shape("com-Friendster", n_communities)
+    rows = []
+    for c in worker_counts:
+        cluster = das5(c)
+        cm = CostModel(cluster)
+        scatter = cm.iteration(shape, pipelined=False)
+        # Replicated E: deploy drops the adjacency payload (ids only).
+        deploy_repl = (
+            shape.mini_batch_vertices * cm.c_draw_per_vertex
+            + shape.mini_batch_vertices * 8 / cluster.network.bandwidth
+            + cluster.network.latency
+        )
+        total_repl = scatter.total - scatter.draw_deploy + deploy_repl
+        pi_budget = cluster.machine.memory_bytes * cluster.memory_fraction
+        rows.append(
+            {
+                "workers": c,
+                "scatter_total_ms": scatter.total * 1e3,
+                "replicate_total_ms": total_repl * 1e3,
+                "saving_pct": 100.0 * (scatter.total - total_repl) / scatter.total,
+                "edge_replica_GiB_per_worker": edge_bytes / 2**30,
+                "pi_budget_lost_pct": 100.0 * edge_bytes / pi_budget,
+            }
+        )
+    return rows

@@ -1,0 +1,211 @@
+"""Command-line interface.
+
+Subcommands:
+
+- ``repro detect`` — detect overlapping communities in an edge-list file
+  and write the covers;
+- ``repro generate`` — write a synthetic SNAP stand-in (or a planted
+  graph) as an edge list;
+- ``repro benchmark`` — regenerate a paper figure/table on stdout;
+- ``repro calibrate`` — print the Table III calibration report.
+
+Examples::
+
+    repro generate --dataset com-DBLP --scale 2e-3 --output dblp.txt
+    repro detect --edges dblp.txt --communities 32 --iterations 4000 \\
+        --output covers.txt
+    repro benchmark --experiment fig1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+
+def _cmd_detect(args: argparse.Namespace) -> int:
+    from repro.config import AMMSBConfig, StepSizeConfig
+    from repro.core.estimation import PosteriorMean, extract_communities
+    from repro.core.sampler import AMMSBSampler
+    from repro.graph.io import load_edge_list
+    from repro.graph.split import split_heldout
+
+    graph = load_edge_list(args.edges)
+    print(f"loaded {graph}", file=sys.stderr)
+    rng = np.random.default_rng(args.seed)
+    split = split_heldout(graph, args.heldout_fraction, rng)
+    config = AMMSBConfig(
+        n_communities=args.communities,
+        mini_batch_vertices=args.mini_batch,
+        neighbor_sample_size=args.neighbors,
+        step_phi=StepSizeConfig(a=args.step),
+        step_theta=StepSizeConfig(a=args.step),
+        seed=args.seed,
+    )
+    if args.resume:
+        from repro.core.checkpoint import load_checkpoint
+
+        sampler = load_checkpoint(args.resume, split.train, heldout=split)
+        print(f"resumed from {args.resume} at iteration {sampler.iteration}",
+              file=sys.stderr)
+    else:
+        sampler = AMMSBSampler(split.train, config, heldout=split)
+    posterior = PosteriorMean(graph.n_vertices, args.communities)
+    report_every = max(1, args.iterations // 10)
+    sample_from = int(args.iterations * 0.75)
+    while sampler.iteration < args.iterations:
+        sampler.run(report_every, perplexity_every=50)
+        if sampler.iteration >= sample_from:
+            posterior.record(sampler.state.pi, sampler.state.beta)
+        print(
+            f"iter {sampler.iteration:6d} perplexity "
+            f"{sampler.perplexity_estimator.value():.4f}",
+            file=sys.stderr,
+        )
+        if args.checkpoint:
+            from repro.core.checkpoint import save_checkpoint
+
+            save_checkpoint(args.checkpoint, sampler)
+    if posterior.n_samples == 0:
+        posterior.record(sampler.state.pi, sampler.state.beta)
+    covers = extract_communities(posterior.pi, threshold=args.threshold)
+    out = Path(args.output) if args.output else None
+    lines = [" ".join(str(int(v)) for v in c) for c in covers]
+    text = "\n".join(lines) + "\n"
+    if out:
+        out.write_text(text)
+        print(f"wrote {len(covers)} communities to {out}", file=sys.stderr)
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.graph.datasets import DATASETS, load_dataset
+    from repro.graph.generators import planted_overlapping_graph
+    from repro.graph.io import save_edge_list
+
+    if args.dataset:
+        if args.dataset not in DATASETS:
+            print(f"unknown dataset {args.dataset!r}; known: {sorted(DATASETS)}",
+                  file=sys.stderr)
+            return 2
+        graph, truth, spec = load_dataset(args.dataset, scale=args.scale)
+        header = (f"{spec.name} synthetic stand-in, scale={args.scale}, "
+                  f"K={truth.n_communities}")
+    else:
+        rng = np.random.default_rng(args.seed)
+        graph, truth = planted_overlapping_graph(
+            args.vertices, args.communities, memberships_per_vertex=2, rng=rng
+        )
+        header = (f"planted overlapping graph, N={args.vertices}, "
+                  f"K={args.communities}")
+    save_edge_list(graph, args.output, header=header)
+    print(f"wrote {graph} to {args.output}", file=sys.stderr)
+    return 0
+
+
+EXPERIMENTS = {
+    "table2": ("table2", "Table II: datasets"),
+    "fig1": ("fig1_strong_scaling", "Figure 1: strong scaling"),
+    "fig2": ("fig2_weak_scaling", "Figure 2: weak scaling"),
+    "fig3": ("fig3_pipeline", "Figure 3: pipelining"),
+    "table3": ("table3_breakdown", "Table III: stage breakdown"),
+    "fig4a": ("fig4a_vertical_dblp", "Figure 4-a: vertical scaling (com-DBLP)"),
+    "fig4b": ("fig4b_horizontal_vs_vertical", "Figure 4-b: 64 nodes vs 40 cores"),
+    "fig5": ("fig5_dkv_vs_qperf", "Figure 5: DKV vs qperf"),
+    "chunks": ("ablation_pipeline_chunks", "Ablation: pipeline chunks"),
+    "edges": ("ablation_edge_placement", "Ablation: edge placement"),
+}
+
+
+def _write_csv(rows: list[dict], path: str) -> None:
+    import csv
+
+    with open(path, "w", newline="", encoding="utf-8") as fh:
+        writer = csv.DictWriter(fh, fieldnames=list(rows[0].keys()))
+        writer.writeheader()
+        writer.writerows(rows)
+
+
+def _cmd_benchmark(args: argparse.Namespace) -> int:
+    from repro.bench import figures
+    from repro.bench.harness import format_table
+
+    if args.experiment not in EXPERIMENTS:
+        print(f"unknown experiment {args.experiment!r}; known: "
+              f"{sorted(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    fn_name, title = EXPERIMENTS[args.experiment]
+    rows = getattr(figures, fn_name)()
+    print(format_table(rows, title=title))
+    if args.csv:
+        _write_csv(rows, args.csv)
+        print(f"wrote {args.csv}", file=sys.stderr)
+    return 0
+
+
+def _cmd_calibrate(_args: argparse.Namespace) -> int:
+    from repro.bench.calibrate import calibration_report, max_relative_error
+    from repro.bench.harness import format_table
+
+    print(format_table(calibration_report(), title="Table III calibration"))
+    print(f"\nmax relative error: {max_relative_error():.1%}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Scalable overlapping community detection (IPPS 2016 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("detect", help="detect communities in an edge list")
+    p.add_argument("--edges", required=True, help="edge-list file (SNAP format)")
+    p.add_argument("--communities", "-k", type=int, required=True)
+    p.add_argument("--iterations", type=int, default=4000)
+    p.add_argument("--mini-batch", type=int, default=128)
+    p.add_argument("--neighbors", type=int, default=32)
+    p.add_argument("--step", type=float, default=0.05)
+    p.add_argument("--threshold", type=float, default=0.25)
+    p.add_argument("--heldout-fraction", type=float, default=0.02)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--output", "-o", default=None, help="covers file (default stdout)")
+    p.add_argument("--checkpoint", default=None,
+                   help="write a resumable checkpoint here after each report")
+    p.add_argument("--resume", default=None, help="resume from a checkpoint file")
+    p.set_defaults(func=_cmd_detect)
+
+    p = sub.add_parser("generate", help="write a synthetic graph edge list")
+    p.add_argument("--dataset", default=None, help="Table II name for a stand-in")
+    p.add_argument("--scale", type=float, default=1e-3)
+    p.add_argument("--vertices", type=int, default=400)
+    p.add_argument("--communities", type=int, default=6)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--output", "-o", required=True)
+    p.set_defaults(func=_cmd_generate)
+
+    p = sub.add_parser("benchmark", help="regenerate a paper figure/table")
+    p.add_argument("--experiment", "-e", required=True,
+                   help=f"one of {sorted(EXPERIMENTS)}")
+    p.add_argument("--csv", default=None, help="also write the rows as CSV")
+    p.set_defaults(func=_cmd_benchmark)
+
+    p = sub.add_parser("calibrate", help="print the Table III calibration report")
+    p.set_defaults(func=_cmd_calibrate)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - direct execution
+    raise SystemExit(main())

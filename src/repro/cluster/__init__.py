@@ -1,0 +1,31 @@
+"""Cluster substrate: machine specs, cost model, DKV store, communicator.
+
+This package models the paper's testbed (DAS5 + FDR InfiniBand + MVAPICH2
++ a custom RDMA DKV store) in two complementary ways:
+
+- **functional** — :class:`repro.cluster.dkv.DKVStore` and
+  :class:`repro.cluster.comm.Communicator` really move NumPy data between
+  simulated ranks inside one process, with message accounting, so the
+  distributed algorithm executes for real;
+- **timed** — :class:`repro.cluster.costmodel.CostModel` charges simulated
+  wall-clock for every stage (compute per op, DKV traffic, collectives),
+  calibrated against the paper's own Table III stage breakdown.
+"""
+
+from repro.cluster.spec import MachineSpec, ClusterSpec, DAS5_NODE, HPC_CLOUD_NODE, das5
+from repro.cluster.costmodel import CostModel, StageTimes
+from repro.cluster.dkv import DKVStore
+from repro.cluster.comm import Communicator, CommStats
+
+__all__ = [
+    "MachineSpec",
+    "ClusterSpec",
+    "DAS5_NODE",
+    "HPC_CLOUD_NODE",
+    "das5",
+    "CostModel",
+    "StageTimes",
+    "DKVStore",
+    "Communicator",
+    "CommStats",
+]

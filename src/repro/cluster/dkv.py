@@ -1,0 +1,247 @@
+"""Distributed key-value store for pi (paper Section III-B).
+
+The paper builds its own DKV store directly on ib-verbs because its use
+case is unusually simple: a static key layout (keys = vertex ids, fixed
+after initial population), fixed-size values (K+1 floats: pi row +
+phi_sum), and barrier-separated read-only / write-only stages with no
+read/write hazards — so every get/put is exactly one RDMA read or write.
+
+This module provides that store in two coupled layers:
+
+- **functional**: values actually live in per-server NumPy arrays inside
+  this process; ``read_batch`` / ``write_batch`` really move the data, so
+  the distributed sampler computes real results;
+- **accounting**: every batch records per-server request counts and bytes,
+  which the cost model (closed form) or the discrete-event simulator
+  (:meth:`timed_read_batch`) converts into simulated time. The Figure 5
+  benchmark drives the simulator path so DKV and qperf share one fabric
+  model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.sim.core import ProcessGen, Simulator, Timeout
+from repro.sim.network import Network, NetworkParams
+from repro.sim.rdma import RdmaEngine, RdmaOp
+
+#: Server-side bytes of DKV metadata fetched along with a value (header).
+VALUE_HEADER_BYTES = 16
+
+
+@dataclass
+class DKVTraffic:
+    """Accounting for one batched operation."""
+
+    n_requests: int = 0
+    n_remote_requests: int = 0
+    bytes_total: int = 0
+    bytes_remote: int = 0
+    per_server_requests: dict[int, int] = field(default_factory=dict)
+
+    def merge(self, other: "DKVTraffic") -> None:
+        self.n_requests += other.n_requests
+        self.n_remote_requests += other.n_remote_requests
+        self.bytes_total += other.bytes_total
+        self.bytes_remote += other.bytes_remote
+        for k, v in other.per_server_requests.items():
+            self.per_server_requests[k] = self.per_server_requests.get(k, 0) + v
+
+
+class DKVStore:
+    """Static-partition fixed-value-size distributed KV store.
+
+    Keys ``0 .. n_keys-1`` are block-partitioned across ``n_servers``
+    (vertex ``i`` lives on server ``i * n_servers // n_keys``), matching
+    the paper's static equal partition of pi rows.
+
+    Args:
+        n_keys: number of keys (vertices).
+        value_dim: floats per value (K + 1).
+        n_servers: worker count.
+        dtype: storage dtype (float32 in the paper; float64 default here
+            for numerical parity with the sequential reference).
+    """
+
+    def __init__(
+        self,
+        n_keys: int,
+        value_dim: int,
+        n_servers: int,
+        dtype=np.float64,
+    ) -> None:
+        if n_keys < 1 or value_dim < 1 or n_servers < 1:
+            raise ValueError("n_keys, value_dim, n_servers must be positive")
+        self.n_keys = int(n_keys)
+        self.value_dim = int(value_dim)
+        self.n_servers = int(n_servers)
+        self.dtype = dtype
+        # Block partition boundaries.
+        self._bounds = np.array(
+            [i * self.n_keys // self.n_servers for i in range(self.n_servers + 1)],
+            dtype=np.int64,
+        )
+        self._shards = [
+            np.zeros((self._bounds[i + 1] - self._bounds[i], value_dim), dtype=dtype)
+            for i in range(self.n_servers)
+        ]
+        self.value_bytes = int(value_dim * np.dtype(dtype).itemsize)
+
+    # -- placement ----------------------------------------------------------
+
+    def owner(self, key: int) -> int:
+        """Server owning ``key``."""
+        if not 0 <= key < self.n_keys:
+            raise KeyError(f"key {key} out of range")
+        return int(np.searchsorted(self._bounds, key, side="right") - 1)
+
+    def owners(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`owner`."""
+        keys = np.asarray(keys, dtype=np.int64)
+        if keys.size and (keys.min() < 0 or keys.max() >= self.n_keys):
+            raise KeyError("key out of range")
+        return np.searchsorted(self._bounds, keys, side="right") - 1
+
+    def shard_slice(self, server: int) -> tuple[int, int]:
+        """(start, stop) key range owned by ``server``."""
+        return int(self._bounds[server]), int(self._bounds[server + 1])
+
+    # -- population -----------------------------------------------------------
+
+    def populate(self, values: np.ndarray) -> None:
+        """Initial bulk load of all values (no traffic accounting; the
+        paper populates the store once before sampling starts)."""
+        if values.shape != (self.n_keys, self.value_dim):
+            raise ValueError(f"expected {(self.n_keys, self.value_dim)}, got {values.shape}")
+        for s in range(self.n_servers):
+            lo, hi = self.shard_slice(s)
+            self._shards[s][:] = values[lo:hi]
+
+    def snapshot(self) -> np.ndarray:
+        """Gather every value (for checkpointing / validation)."""
+        return np.concatenate(self._shards, axis=0)
+
+    # -- batched ops ------------------------------------------------------------
+
+    def read_batch(self, client: int, keys: np.ndarray) -> tuple[np.ndarray, DKVTraffic]:
+        """Read values for ``keys`` on behalf of ``client``.
+
+        Duplicate keys are fetched once (the paper's workers dedupe their
+        mini-batch + neighbor key sets the same way).
+        """
+        keys = np.asarray(keys, dtype=np.int64)
+        out = np.empty((keys.size, self.value_dim), dtype=self.dtype)
+        traffic = DKVTraffic()
+        if keys.size == 0:
+            return out, traffic
+        unique, inverse = np.unique(keys, return_inverse=True)
+        owners = self.owners(unique)
+        uvals = np.empty((unique.size, self.value_dim), dtype=self.dtype)
+        for s in np.unique(owners):
+            sel = owners == s
+            lo, _ = self.shard_slice(int(s))
+            uvals[sel] = self._shards[int(s)][unique[sel] - lo]
+            n_req = int(sel.sum())
+            traffic.n_requests += n_req
+            traffic.bytes_total += n_req * self.value_bytes
+            traffic.per_server_requests[int(s)] = n_req
+            if int(s) != client:
+                traffic.n_remote_requests += n_req
+                traffic.bytes_remote += n_req * self.value_bytes
+        out[:] = uvals[inverse]
+        return out, traffic
+
+    def write_batch(
+        self, client: int, keys: np.ndarray, values: np.ndarray
+    ) -> DKVTraffic:
+        """Write values for ``keys``; keys must be unique (the algorithm
+        guarantees mini-batch updates target unique vertices)."""
+        keys = np.asarray(keys, dtype=np.int64)
+        if values.shape != (keys.size, self.value_dim):
+            raise ValueError("values shape mismatch")
+        if np.unique(keys).size != keys.size:
+            raise ValueError("duplicate keys in write batch (write/write hazard)")
+        traffic = DKVTraffic()
+        owners = self.owners(keys)
+        for s in np.unique(owners):
+            sel = owners == s
+            lo, _ = self.shard_slice(int(s))
+            self._shards[int(s)][keys[sel] - lo] = values[sel]
+            n_req = int(sel.sum())
+            traffic.n_requests += n_req
+            traffic.bytes_total += n_req * self.value_bytes
+            traffic.per_server_requests[int(s)] = n_req
+            if int(s) != client:
+                traffic.n_remote_requests += n_req
+                traffic.bytes_remote += n_req * self.value_bytes
+        return traffic
+
+
+# -- discrete-event timed batch (Figure 5 benchmark path) -------------------
+
+
+#: Client-side CPU work per DKV request (key->address lookup, WQE build,
+#: doorbell, CQE handling). This is the "additional per-request overhead
+#: for the DKV store" behind Figure 5's small-payload gap vs qperf.
+CLIENT_CPU_PER_REQUEST = 1.0e-6
+#: Server DRAM fetch penalty for payloads too large for the LLC: qperf
+#: re-reads the same buffer (cache hot), while DKV values are spread over
+#: a large memory area (paper Section IV-E, largest packet size).
+SERVER_DRAM_BANDWIDTH = 40e9
+CACHE_RESIDENT_BYTES = 256 * 1024
+
+
+def timed_read_batch(
+    n_requests: int,
+    value_bytes: int,
+    depth: int = 16,
+    params: NetworkParams | None = None,
+) -> float:
+    """Simulate one client reading ``n_requests`` values from one server.
+
+    Mirrors :func:`repro.sim.qperf.run_qperf` on the same simulated fabric
+    plus the DKV-specific costs: a value header on the wire, client CPU
+    per request (serializing the posting loop), and a server DRAM-fetch
+    penalty for payloads that cannot stay cache-resident. Returns elapsed
+    seconds.
+    """
+    if n_requests < 1:
+        raise ValueError("need at least one request")
+    sim = Simulator()
+    net = Network(sim, n_nodes=2, params=params or NetworkParams.fdr_infiniband())
+    engine = RdmaEngine(sim, net)
+    payload = value_bytes + VALUE_HEADER_BYTES
+    dram_penalty = (
+        value_bytes / SERVER_DRAM_BANDWIDTH if value_bytes > CACHE_RESIDENT_BYTES else 0.0
+    )
+
+    def stream() -> ProcessGen:
+        qp = engine.queue_pair(0, 1)
+        inflight: list[RdmaOp] = []
+        posted = completed = 0
+        while completed < n_requests:
+            if posted < n_requests and len(inflight) < depth:
+                # Client CPU serializes request preparation.
+                yield Timeout(CLIENT_CPU_PER_REQUEST)
+                inflight.append(qp.post_read(payload))
+                posted += 1
+                continue
+            op = inflight.pop(0)
+            yield op.completion
+            completed += 1
+            if dram_penalty:
+                yield Timeout(dram_penalty)
+        return completed
+
+    sim.run_process(stream(), name="dkv-batch")
+    return sim.now
+
+
+def dkv_bandwidth(value_bytes: int, n_requests: int = 256, depth: int = 16,
+                  params: NetworkParams | None = None) -> float:
+    """Payload bandwidth (bytes/s) of the simulated DKV read stream."""
+    elapsed = timed_read_batch(n_requests, value_bytes, depth=depth, params=params)
+    return n_requests * value_bytes / elapsed

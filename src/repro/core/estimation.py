@@ -1,0 +1,112 @@
+"""Posterior summarization: running means and community extraction.
+
+SG-MCMC produces a *stream* of posterior samples; point estimates come
+from averaging. :class:`PosteriorMean` keeps running means of pi and beta
+without storing samples (same online trick as the perplexity estimator),
+and :func:`extract_communities` turns the averaged pi into discrete covers
+for reporting/metrics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.metrics import Cover, covers_from_pi
+
+
+def align_communities(
+    pi: np.ndarray, reference: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Permute ``pi``'s columns to best match ``reference``.
+
+    MMSB posteriors are identifiable only up to a relabeling of the K
+    communities; within one MCMC chain, label switching makes naive
+    averaging of pi samples smear communities together. This resolves it
+    with the Hungarian algorithm on column correlations.
+
+    Returns:
+        ``(aligned_pi, permutation)`` where ``aligned_pi[:, j] =
+        pi[:, permutation[j]]``.
+    """
+    from scipy.optimize import linear_sum_assignment
+
+    if pi.shape != reference.shape:
+        raise ValueError(f"shape mismatch: {pi.shape} vs {reference.shape}")
+    # Cost = negative overlap between columns.
+    cost = -(reference.T @ pi)  # (K, K)
+    _, cols = linear_sum_assignment(cost)
+    return pi[:, cols], cols
+
+
+class PosteriorMean:
+    """Running average of (pi, beta) posterior samples.
+
+    With ``align=True`` (default) each sample's community labels are
+    matched to the first recorded sample before averaging, protecting the
+    point estimate from within-chain label switching.
+    """
+
+    def __init__(self, n_vertices: int, n_communities: int, align: bool = True) -> None:
+        self._pi_sum = np.zeros((n_vertices, n_communities))
+        self._beta_sum = np.zeros(n_communities)
+        self._count = 0
+        self._align = align
+        self._reference: np.ndarray | None = None
+
+    @property
+    def n_samples(self) -> int:
+        return self._count
+
+    def record(self, pi: np.ndarray, beta: np.ndarray) -> None:
+        if pi.shape != self._pi_sum.shape:
+            raise ValueError(f"pi shape {pi.shape} != {self._pi_sum.shape}")
+        beta = np.asarray(beta)
+        if self._align:
+            if self._reference is None:
+                self._reference = pi.copy()
+            else:
+                pi, perm = align_communities(pi, self._reference)
+                beta = beta[perm]
+        self._pi_sum += pi
+        self._beta_sum += beta
+        self._count += 1
+
+    @property
+    def pi(self) -> np.ndarray:
+        if self._count == 0:
+            raise ValueError("no samples recorded")
+        return self._pi_sum / self._count
+
+    @property
+    def beta(self) -> np.ndarray:
+        if self._count == 0:
+            raise ValueError("no samples recorded")
+        return self._beta_sum / self._count
+
+
+def extract_communities(
+    pi: np.ndarray,
+    threshold: float = 0.2,
+    min_size: int = 2,
+    max_communities: int | None = None,
+) -> Cover:
+    """Discrete overlapping covers from a (posterior-mean) pi matrix.
+
+    Communities are ordered by size (descending); ``max_communities``
+    truncates the list for reporting.
+    """
+    covers = covers_from_pi(pi, threshold=threshold, min_size=min_size)
+    covers.sort(key=lambda c: -c.size)
+    if max_communities is not None:
+        covers = covers[:max_communities]
+    return covers
+
+
+def membership_entropy(pi: np.ndarray) -> np.ndarray:
+    """Per-vertex entropy of the membership distribution (overlap measure).
+
+    Vertices deep inside one community have entropy near 0; bridge vertices
+    that genuinely overlap several communities score high.
+    """
+    p = np.clip(pi, 1e-12, 1.0)
+    return -(p * np.log(p)).sum(axis=1)

@@ -1,0 +1,59 @@
+"""Step-size schedules for SGRLD and the SVI baseline.
+
+The SGRLD schedule lives in :class:`repro.config.StepSizeConfig`
+(``eps_t = a (1 + t/b)^-c``); this module re-exports it and adds the
+Robbins-Monro power schedule used by stochastic variational inference and
+a constant schedule for debugging/mixing studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import StepSizeConfig
+
+__all__ = ["StepSizeConfig", "PowerSchedule", "ConstantSchedule", "check_robbins_monro"]
+
+
+@dataclass(frozen=True)
+class PowerSchedule:
+    """``rho_t = (t0 + t) ** -kappa`` — the classic SVI schedule.
+
+    ``kappa`` in (0.5, 1] satisfies Robbins-Monro.
+    """
+
+    t0: float = 1024.0
+    kappa: float = 0.5 + 1e-9
+
+    def at(self, t: int) -> float:
+        if t < 0:
+            raise ValueError("iteration must be >= 0")
+        return (self.t0 + t) ** (-self.kappa)
+
+
+@dataclass(frozen=True)
+class ConstantSchedule:
+    """Fixed step size; biased but useful for mixing/throughput studies."""
+
+    eps: float = 1e-3
+
+    def at(self, t: int) -> float:
+        if t < 0:
+            raise ValueError("iteration must be >= 0")
+        return self.eps
+
+
+def check_robbins_monro(schedule, horizon: int = 100_000) -> tuple[float, float]:
+    """Empirical partial sums (sum eps, sum eps^2) over a horizon.
+
+    Used by tests to sanity-check that configured schedules are in the
+    convergent regime: the first sum should grow without bound (large),
+    the second should flatten (finite).
+    """
+    s1 = 0.0
+    s2 = 0.0
+    for t in range(horizon):
+        e = schedule.at(t)
+        s1 += e
+        s2 += e * e
+    return s1, s2

@@ -1,0 +1,118 @@
+"""Model state for a-MMSB SG-MCMC.
+
+Following the paper's memory trade-off (Section III-A), the state stores
+``pi`` (N x K, normalized memberships) and ``phi_sum`` (N,) instead of the
+raw ``phi`` matrix; ``phi = pi * phi_sum[:, None]`` is recomputed on demand.
+In the distributed engine the concatenation ``[pi_row, phi_sum]`` —
+``K + 1`` floats — is exactly the value stored per key in the DKV store.
+
+Globals ``theta`` (K x 2) and the derived ``beta`` are tiny and replicated
+everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import AMMSBConfig
+
+
+@dataclass
+class ModelState:
+    """Mutable sampler state.
+
+    Attributes:
+        pi: (N, K) membership probabilities; rows sum to 1.
+        phi_sum: (N,) row sums of the unnormalized phi.
+        theta: (K, 2) global reparameterization; ``beta = theta[:, 1] /
+            theta.sum(axis=1)``.
+    """
+
+    pi: np.ndarray
+    phi_sum: np.ndarray
+    theta: np.ndarray
+
+    @property
+    def n_vertices(self) -> int:
+        return int(self.pi.shape[0])
+
+    @property
+    def n_communities(self) -> int:
+        return int(self.pi.shape[1])
+
+    @property
+    def beta(self) -> np.ndarray:
+        """Community strengths derived from theta, shape (K,)."""
+        return self.theta[:, 1] / self.theta.sum(axis=1)
+
+    def phi_rows(self, vertices: np.ndarray) -> np.ndarray:
+        """Reconstruct phi rows for the given vertices, shape (m, K)."""
+        vertices = np.asarray(vertices, dtype=np.int64)
+        return self.pi[vertices] * self.phi_sum[vertices, None]
+
+    def set_phi_rows(self, vertices: np.ndarray, phi: np.ndarray) -> None:
+        """Store new phi rows (renormalizing into pi / phi_sum).
+
+        Values are cast to the state's storage dtype (float32 in the
+        paper's configuration); kernels may compute at higher precision.
+        """
+        vertices = np.asarray(vertices, dtype=np.int64)
+        sums = phi.sum(axis=1)
+        if np.any(sums <= 0):
+            raise ValueError("phi rows must have positive sums")
+        self.phi_sum[vertices] = sums
+        self.pi[vertices] = (phi / sums[:, None]).astype(self.pi.dtype, copy=False)
+
+    def kv_values(self, vertices: np.ndarray) -> np.ndarray:
+        """DKV value layout: (m, K+1) = [pi_row | phi_sum]."""
+        vertices = np.asarray(vertices, dtype=np.int64)
+        return np.concatenate([self.pi[vertices], self.phi_sum[vertices, None]], axis=1)
+
+    def set_kv_values(self, vertices: np.ndarray, values: np.ndarray) -> None:
+        """Inverse of :meth:`kv_values`."""
+        vertices = np.asarray(vertices, dtype=np.int64)
+        self.pi[vertices] = values[:, :-1]
+        self.phi_sum[vertices] = values[:, -1]
+
+    def copy(self) -> "ModelState":
+        return ModelState(pi=self.pi.copy(), phi_sum=self.phi_sum.copy(), theta=self.theta.copy())
+
+    def validate(self, atol: float | None = None) -> None:
+        """Raise if simplex/positivity invariants are violated.
+
+        The tolerance adapts to the storage precision (float32 rows
+        normalize to 1 only within ~K * eps_f32).
+        """
+        if atol is None:
+            atol = 1e-8 if self.pi.dtype == np.float64 else 1e-4
+        if np.any(self.pi < 0):
+            raise ValueError("pi has negative entries")
+        if not np.allclose(self.pi.sum(axis=1), 1.0, atol=atol):
+            raise ValueError("pi rows do not sum to 1")
+        if np.any(self.phi_sum <= 0):
+            raise ValueError("phi_sum must be positive")
+        if np.any(self.theta <= 0):
+            raise ValueError("theta must be positive")
+
+
+def init_state(
+    n_vertices: int, config: AMMSBConfig, rng: np.random.Generator | None = None
+) -> ModelState:
+    """Random initialization following [Li, Ahn, Welling 2015].
+
+    ``phi_ak ~ Gamma(alpha, 1)`` (expanded-mean parameterization of
+    Dirichlet(alpha)) and ``theta_ki ~ Gamma(eta_i, 1)``; a small floor
+    keeps every entry strictly positive.
+    """
+    rng = rng or np.random.default_rng(config.seed)
+    k = config.n_communities
+    alpha = config.effective_alpha
+    dtype = np.dtype(config.dtype)
+    phi = rng.gamma(alpha, 1.0, size=(n_vertices, k)) + 1e-9
+    phi_sum = phi.sum(axis=1)
+    pi = (phi / phi_sum[:, None]).astype(dtype)
+    # theta is tiny (K x 2) and replicated; keep it at full precision.
+    theta = rng.gamma(100.0, 0.01, size=(k, 2)) + 1e-9
+    return ModelState(pi=pi, phi_sum=phi_sum.astype(dtype), theta=theta)

@@ -1,0 +1,26 @@
+"""Distributed master-worker SG-MCMC engine (the paper's contribution).
+
+- :mod:`repro.dist.partition` — mini-batch and vertex partitioning plus
+  the adjacency-slice machinery the master scatters with the mini-batch;
+- :mod:`repro.dist.master` — master rank: draws mini-batches, partitions
+  them, owns the full edge set E;
+- :mod:`repro.dist.worker` — worker rank: neighbor sampling, update_phi /
+  update_pi against the DKV store, theta-gradient partials, perplexity
+  partials;
+- :mod:`repro.dist.sampler` — the BSP orchestration with per-stage
+  simulated timing (functional mode);
+- :mod:`repro.dist.analytic` — closed-form iteration timing at full paper
+  scale (no kernel execution), driving the scaling figures.
+"""
+
+from repro.dist.sampler import DistributedAMMSBSampler, DistributedTiming
+from repro.dist.analytic import analytic_iteration, dataset_shape
+from repro.dist.mp import MultiprocessAMMSBSampler
+
+__all__ = [
+    "DistributedAMMSBSampler",
+    "DistributedTiming",
+    "MultiprocessAMMSBSampler",
+    "analytic_iteration",
+    "dataset_shape",
+]

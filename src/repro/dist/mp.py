@@ -1,0 +1,386 @@
+"""Real multi-process distributed execution.
+
+The in-process :class:`~repro.dist.sampler.DistributedAMMSBSampler`
+executes ranks sequentially (with a simulated clock). This module runs
+the same master-worker protocol across **operating-system processes**:
+
+- the global ``[pi | phi_sum]`` table lives in POSIX shared memory (the
+  shared-memory analogue of the RDMA DKV store — every worker maps the
+  same pages);
+- the master (the parent process) draws mini-batches and ships each
+  worker its shard (vertices, adjacency slice, strata) over a pipe —
+  exactly the scatter of Section III-A;
+- workers run the *same kernels* and the *same per-worker RNG streams*
+  as the in-process engine, so the two backends produce bit-identical
+  states (tested in ``tests/test_mp_backend.py``);
+- the stage protocol preserves the paper's hazard discipline: phi is
+  computed from a consistent snapshot, then written back only after a
+  barrier (compute-ack round trip), then theta partials are reduced.
+
+This is genuine parallelism (one process per worker, no GIL sharing);
+on a multi-core host the phi stage scales with worker count.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Optional
+
+import numpy as np
+
+from repro.config import AMMSBConfig
+from repro.core import gradients
+from repro.core.minibatch import NeighborSample
+from repro.core.state import ModelState, init_state
+from repro.dist.master import MasterContext
+from repro.dist.partition import WorkerShard
+from repro.graph.graph import Graph, edge_keys
+from repro.graph.split import HeldoutSplit
+
+
+@dataclass
+class _PhiResult:
+    vertices: np.ndarray
+    new_values: np.ndarray
+
+
+def _worker_loop(
+    worker_id: int,
+    shm_name: str,
+    table_shape: tuple[int, int],
+    dtype_str: str,
+    config: AMMSBConfig,
+    n_vertices: int,
+    heldout_keys: Optional[np.ndarray],
+    cmd_recv,
+    res_send,
+) -> None:
+    """Worker process: command loop over the shared pi table."""
+    shm = shared_memory.SharedMemory(name=shm_name)
+    try:
+        table = np.ndarray(table_shape, dtype=np.dtype(dtype_str), buffer=shm.buf)
+        # Same streams as WorkerContext, so backends agree bit-for-bit.
+        rng = np.random.default_rng(config.seed + 1009 * (worker_id + 1))
+        noise_rng = np.random.default_rng(config.seed + 2003 * (worker_id + 1))
+        hk = (
+            np.sort(np.asarray(heldout_keys, dtype=np.int64))
+            if heldout_keys is not None and len(heldout_keys)
+            else np.zeros(0, dtype=np.int64)
+        )
+        k = config.n_communities
+        pending: Optional[_PhiResult] = None
+        shard: Optional[WorkerShard] = None
+
+        def in_heldout(keys: np.ndarray) -> np.ndarray:
+            if not hk.size or not keys.size:
+                return np.zeros(keys.shape, dtype=bool)
+            idx = np.minimum(np.searchsorted(hk, keys), hk.size - 1)
+            return hk[idx] == keys
+
+        def sample_neighbors(sh: WorkerShard) -> NeighborSample:
+            vs = sh.vertices
+            m = vs.size
+            n_sample = config.neighbor_sample_size
+            neighbors = rng.integers(0, n_vertices, size=(m, n_sample))
+            mask = neighbors != vs[:, None]
+            lo = np.minimum(vs[:, None], neighbors)
+            hi = np.maximum(vs[:, None], neighbors)
+            mask &= ~in_heldout(lo * np.int64(n_vertices) + hi)
+            labels = sh.adjacency.links_against(neighbors) & mask
+            empty = ~mask.any(axis=1)
+            if np.any(empty):
+                rows = np.flatnonzero(empty)
+                repl = (vs[rows] + 1) % n_vertices
+                neighbors[rows, 0] = repl
+                mask[rows, 0] = repl != vs[rows]
+                labels[rows, 0] = False
+            return NeighborSample(neighbors=neighbors, labels=labels, mask=mask)
+
+        while True:
+            cmd = cmd_recv.recv()
+            op = cmd[0]
+            if op == "stop":
+                break
+            elif op == "phi_compute":
+                _, shard, beta, eps_t = cmd
+                vs = shard.vertices
+                if vs.size == 0:
+                    pending = _PhiResult(vs, np.zeros((0, k + 1)))
+                    res_send.put(("phi_done", worker_id))
+                    continue
+                ns = sample_neighbors(shard)
+                all_keys = np.concatenate([vs, ns.neighbors.reshape(-1)])
+                values = table[all_keys]
+                pi_a = values[: vs.size, :-1]
+                phi_sum_a = values[: vs.size, -1]
+                pi_b = values[vs.size:, :-1].reshape(vs.size, -1, k)
+                grad = gradients.phi_gradient_sum(
+                    pi_a, phi_sum_a, pi_b, ns.labels, beta, config.delta, mask=ns.mask
+                )
+                counts = np.maximum(ns.counts, 1)
+                noise = noise_rng.standard_normal(pi_a.shape)
+                new_phi = gradients.update_phi(
+                    pi_a * phi_sum_a[:, None],
+                    grad,
+                    eps_t=eps_t,
+                    alpha=config.effective_alpha,
+                    scale=n_vertices / counts,
+                    noise=noise,
+                    phi_floor=config.phi_floor,
+                    phi_clip=config.phi_clip,
+                )
+                sums = new_phi.sum(axis=1)
+                pending = _PhiResult(
+                    vs,
+                    np.concatenate([new_phi / sums[:, None], sums[:, None]], axis=1),
+                )
+                res_send.put(("phi_done", worker_id))
+            elif op == "pi_write":
+                assert pending is not None
+                if pending.vertices.size:
+                    table[pending.vertices] = pending.new_values
+                res_send.put(("write_done", worker_id))
+            elif op == "theta_partial":
+                _, theta = cmd
+                grad = np.zeros_like(theta)
+                assert shard is not None
+                for stratum in shard.strata:
+                    values = table[stratum.pairs.reshape(-1)]
+                    pi_pairs = values[:, :-1].reshape(len(stratum.pairs), 2, k)
+                    grad += stratum.scale * gradients.theta_gradient_sum(
+                        pi_pairs[:, 0],
+                        pi_pairs[:, 1],
+                        stratum.labels.astype(np.int64),
+                        theta,
+                        config.delta,
+                    )
+                res_send.put(("theta", worker_id, grad))
+            elif op == "perplexity":
+                _, pairs, labels, beta = cmd
+                from repro.core.perplexity import link_probability
+
+                if len(pairs):
+                    values = table[pairs.reshape(-1)]
+                    pi_pairs = values[:, :-1].reshape(len(pairs), 2, k)
+                    p1 = link_probability(
+                        pi_pairs[:, 0], pi_pairs[:, 1], beta, config.delta
+                    )
+                    probs = np.where(labels, p1, 1.0 - p1)
+                else:
+                    probs = np.zeros(0)
+                res_send.put(("perp", worker_id, probs))
+            else:  # pragma: no cover - protocol guard
+                raise RuntimeError(f"unknown command {op!r}")
+    finally:
+        shm.close()
+
+
+class MultiprocessAMMSBSampler:
+    """Master-worker SG-MCMC across OS processes with shared-memory pi.
+
+    Use as a context manager (or call :meth:`close`) so the worker
+    processes and the shared-memory segment are released::
+
+        with MultiprocessAMMSBSampler(graph, config, n_workers=4) as s:
+            s.run(1000)
+            state = s.state_snapshot()
+
+    Args:
+        graph: training graph.
+        config: shared configuration.
+        n_workers: worker process count.
+        heldout: optional held-out split (enables perplexity).
+        state: optional initial state.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        config: AMMSBConfig,
+        n_workers: int = 2,
+        heldout: Optional[HeldoutSplit] = None,
+        state: Optional[ModelState] = None,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError("need at least one worker")
+        self.graph = graph
+        self.config = config
+        self.n_workers = n_workers
+
+        heldout_keys = None
+        if heldout is not None:
+            heldout_keys = np.sort(edge_keys(heldout.heldout_pairs, graph.n_vertices))
+        self.master = MasterContext(graph, config, n_workers, heldout_keys)
+
+        k = config.n_communities
+        init = state if state is not None else init_state(
+            graph.n_vertices, config, self.master.rng
+        )
+        dtype = np.dtype(config.dtype)
+        table = np.concatenate([init.pi, init.phi_sum[:, None]], axis=1).astype(dtype)
+        self._shm = shared_memory.SharedMemory(create=True, size=table.nbytes)
+        self._table = np.ndarray(table.shape, dtype=dtype, buffer=self._shm.buf)
+        self._table[:] = table
+        self.theta = init.theta.copy()
+
+        self._heldout = heldout
+        self._heldout_parts: list[tuple[np.ndarray, np.ndarray]] = []
+        self._prob_sums: list[np.ndarray] = []
+        self._prob_count = 0
+        if heldout is not None:
+            from repro.dist.partition import partition_heldout
+
+            self._heldout_parts = partition_heldout(
+                heldout.heldout_pairs, heldout.heldout_labels, n_workers
+            )
+            self._prob_sums = [np.zeros(len(p)) for p, _ in self._heldout_parts]
+
+        ctx = mp.get_context("fork")
+        self._cmd_pipes = []
+        self._res_queue = ctx.SimpleQueue()
+        self._procs = []
+        for w in range(n_workers):
+            recv, send = ctx.Pipe(duplex=False)
+            self._cmd_pipes.append(send)
+            proc = ctx.Process(
+                target=_worker_loop,
+                args=(
+                    w,
+                    self._shm.name,
+                    table.shape,
+                    str(dtype),
+                    config,
+                    graph.n_vertices,
+                    heldout_keys,
+                    recv,
+                    self._res_queue,
+                ),
+                daemon=True,
+            )
+            proc.start()
+            self._procs.append(proc)
+        self.iteration = 0
+        self._closed = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop workers and release the shared-memory segment."""
+        if self._closed:
+            return
+        self._closed = True
+        for pipe in self._cmd_pipes:
+            try:
+                pipe.send(("stop",))
+            except (BrokenPipeError, OSError):  # pragma: no cover
+                pass
+        for proc in self._procs:
+            proc.join(timeout=10)
+            if proc.is_alive():  # pragma: no cover - watchdog
+                proc.terminate()
+        self._shm.close()
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover
+            pass
+
+    def __enter__(self) -> "MultiprocessAMMSBSampler":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - best effort
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- protocol helpers ------------------------------------------------------
+
+    def _collect(self, expected_tag: str) -> list:
+        out = [None] * self.n_workers
+        for _ in range(self.n_workers):
+            msg = self._res_queue.get()
+            if msg[0] != expected_tag:
+                raise RuntimeError(f"expected {expected_tag}, got {msg[0]}")
+            out[msg[1]] = msg[2] if len(msg) > 2 else True
+        return out
+
+    # -- derived views ------------------------------------------------------------
+
+    @property
+    def beta(self) -> np.ndarray:
+        return self.theta[:, 1] / self.theta.sum(axis=1)
+
+    def state_snapshot(self) -> ModelState:
+        return ModelState(
+            pi=self._table[:, :-1].copy(),
+            phi_sum=self._table[:, -1].copy(),
+            theta=self.theta.copy(),
+        )
+
+    # -- iteration -------------------------------------------------------------------
+
+    def step(self) -> None:
+        """One BSP iteration across the worker processes."""
+        if self._closed:
+            raise RuntimeError("sampler is closed")
+        cfg = self.config
+        draw = self.master.next_draw()
+        eps_phi = cfg.step_phi.at(self.iteration)
+        beta = self.beta
+        # Stage: scatter + phi compute (reads only) ... barrier.
+        for w, shard in enumerate(draw.shards):
+            self._cmd_pipes[w].send(("phi_compute", shard, beta, eps_phi))
+        self._collect("phi_done")
+        # Stage: pi write-back (disjoint rows) ... barrier.
+        for pipe in self._cmd_pipes:
+            pipe.send(("pi_write",))
+        self._collect("write_done")
+        # Stage: theta partials -> reduce at master -> update.
+        for pipe in self._cmd_pipes:
+            pipe.send(("theta_partial", self.theta))
+        partials = self._collect("theta")
+        grad_total = np.zeros_like(self.theta)
+        for g in partials:
+            grad_total += g
+        self.theta = gradients.update_theta(
+            self.theta,
+            grad_total,
+            eps_t=cfg.step_theta.at(self.iteration),
+            eta=cfg.eta,
+            scale=1.0,
+            noise=self.master.theta_noise(self.theta.shape),
+        )
+        self.iteration += 1
+
+    def run(self, n_iterations: int, perplexity_every: int = 0) -> None:
+        for _ in range(n_iterations):
+            self.step()
+            if (
+                perplexity_every
+                and self._heldout_parts
+                and self.iteration % perplexity_every == 0
+            ):
+                self.evaluate_perplexity()
+
+    def evaluate_perplexity(self) -> float:
+        """Distributed perplexity over the statically partitioned E_h."""
+        if not self._heldout_parts:
+            raise RuntimeError("no held-out split was provided")
+        beta = self.beta
+        for w, (pairs, labels) in enumerate(self._heldout_parts):
+            self._cmd_pipes[w].send(("perplexity", pairs, labels, beta))
+        probs = self._collect("perp")
+        self._prob_count += 1
+        log_sum = 0.0
+        count = 0
+        for w, p in enumerate(probs):
+            self._prob_sums[w] += p
+            avg = self._prob_sums[w] / self._prob_count
+            log_sum += float(np.log(np.maximum(avg, 1e-12)).sum())
+            count += len(p)
+        return float(np.exp(-log_sum / max(count, 1)))

@@ -1,0 +1,384 @@
+"""Distributed BSP orchestration of SG-MCMC with simulated timing.
+
+One :class:`DistributedAMMSBSampler` iteration executes the paper's stage
+sequence (Section III-C):
+
+1. **draw/deploy** — the master draws the mini-batch and scatters, per
+   worker, its vertices + adjacency slice + strata (in the pipelined
+   configuration this was prefetched during the previous update_phi);
+2. **sample neighbors** — each worker draws V_n for its vertices;
+3. **update_phi** — each worker batch-reads the pi rows it needs from the
+   DKV store and runs the phi kernel; *barrier*;
+4. **update_pi** — workers write the new ``[pi | phi_sum]`` rows; *barrier*;
+5. **update_beta/theta** — workers compute h-scaled theta-gradient
+   partials from DKV-fresh pi; MPI reduce; master updates theta and
+   broadcasts beta;
+6. periodically, **perplexity** over the statically partitioned E_h.
+
+Every stage really executes (the result is a valid SG-MCMC run, validated
+against the sequential reference), while a simulated clock charges each
+stage from the calibrated :class:`~repro.cluster.costmodel.CostModel`
+using the *actual* traffic and op counts of the run; stage time is the
+max over workers (BSP barrier semantics). Pipelining changes only the
+clock composition, exactly as in Section III-D.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.config import AMMSBConfig
+from repro.cluster.comm import Communicator
+from repro.cluster.costmodel import CostModel, StageTimes
+from repro.cluster.dkv import DKVStore, DKVTraffic
+from repro.cluster.spec import ClusterSpec, das5
+from repro.core.minibatch import Minibatch, NeighborSample
+from repro.core.state import ModelState, init_state
+from repro.dist.master import MasterContext
+from repro.dist.worker import WorkerContext
+from repro.dist.partition import partition_heldout
+from repro.graph.graph import Graph, edge_keys
+from repro.graph.split import HeldoutSplit
+
+#: DKV client id used by the master (it is not a DKV server, so every
+#: master read is remote — matching the paper's master/worker split).
+MASTER_CLIENT = -1
+
+
+@dataclass
+class DistributedTiming:
+    """Simulated-clock record of a run."""
+
+    per_iteration: list[StageTimes] = field(default_factory=list)
+    perplexity_passes: list[float] = field(default_factory=list)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(t.total for t in self.per_iteration) + sum(self.perplexity_passes)
+
+    def mean_stage_times(self) -> dict[str, float]:
+        """Average per-iteration breakdown (seconds)."""
+        if not self.per_iteration:
+            return {}
+        keys = self.per_iteration[0].as_dict().keys()
+        n = len(self.per_iteration)
+        return {
+            k: sum(t.as_dict()[k] for t in self.per_iteration) / n for k in keys
+        }
+
+
+class DistributedAMMSBSampler:
+    """Master-worker distributed SG-MCMC for a-MMSB.
+
+    Args:
+        graph: training graph (conceptually master-only).
+        config: shared configuration.
+        cluster: cluster spec (worker count, machine, network). Defaults
+            to 4 DAS5 workers.
+        heldout: optional held-out split, statically partitioned across
+            all ranks for distributed perplexity.
+        pipelined: enable the double-buffering/prefetch pipeline of
+            Section III-D (changes the simulated clock, and the master
+            genuinely prefetches the next mini-batch).
+        state: optional initial state (random otherwise).
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        config: AMMSBConfig,
+        cluster: Optional[ClusterSpec] = None,
+        heldout: Optional[HeldoutSplit] = None,
+        pipelined: bool = True,
+        state: Optional[ModelState] = None,
+    ) -> None:
+        self.graph = graph
+        self.config = config
+        self.cluster = cluster or das5(4)
+        self.pipelined = pipelined
+        self.cost = CostModel(self.cluster)
+        n_workers = self.cluster.n_workers
+        self.comm = Communicator(n_workers + 1)
+
+        heldout_keys = None
+        self._heldout = heldout
+        if heldout is not None:
+            heldout_keys = np.sort(edge_keys(heldout.heldout_pairs, graph.n_vertices))
+        self.master = MasterContext(graph, config, n_workers, heldout_keys)
+
+        k = config.n_communities
+        self.dkv = DKVStore(
+            graph.n_vertices, k + 1, n_workers, dtype=np.dtype(config.dtype)
+        )
+        init = state if state is not None else init_state(graph.n_vertices, config, self.master.rng)
+        self.dkv.populate(np.concatenate([init.pi, init.phi_sum[:, None]], axis=1))
+        self.theta = init.theta.copy()
+
+        self.workers = [
+            WorkerContext(w, config, graph.n_vertices, self.dkv, heldout_keys)
+            for w in range(n_workers)
+        ]
+
+        # Static E_h partition over all ranks (master participates too).
+        self._heldout_parts: list[tuple[np.ndarray, np.ndarray]] = []
+        self._prob_sums: list[np.ndarray] = []
+        self._prob_count = 0
+        if heldout is not None:
+            self._heldout_parts = partition_heldout(
+                heldout.heldout_pairs, heldout.heldout_labels, n_workers + 1
+            )
+            self._prob_sums = [np.zeros(len(p)) for p, _ in self._heldout_parts]
+
+        self.iteration = 0
+        self.timing = DistributedTiming()
+
+    # -- derived views ----------------------------------------------------------
+
+    @property
+    def beta(self) -> np.ndarray:
+        return self.theta[:, 1] / self.theta.sum(axis=1)
+
+    def state_snapshot(self) -> ModelState:
+        """Gather the distributed state into a local ModelState (for
+        metrics/tests; the paper would checkpoint the same way)."""
+        values = self.dkv.snapshot()
+        return ModelState(
+            pi=values[:, :-1].copy(), phi_sum=values[:, -1].copy(), theta=self.theta.copy()
+        )
+
+    # -- timing helpers -----------------------------------------------------------
+
+    def _read_time(self, traffic: DKVTraffic) -> float:
+        """Simulated time of one worker's synchronous batched DKV reads."""
+        c = self.cost
+        local_bytes = traffic.bytes_total - traffic.bytes_remote
+        t = traffic.n_requests * c.c_dkv_request
+        t += traffic.bytes_remote / c.dkv_read_bw_loaded
+        t += local_bytes / (self.cluster.machine.memory_bandwidth * 0.5)
+        return t
+
+    def _write_time(self, traffic: DKVTraffic) -> float:
+        c = self.cost
+        local_bytes = traffic.bytes_total - traffic.bytes_remote
+        t = traffic.n_requests * c.c_dkv_request
+        t += traffic.bytes_remote / self.cluster.network.bandwidth
+        t += local_bytes / (self.cluster.machine.memory_bandwidth * 0.5)
+        return t
+
+    # -- one iteration --------------------------------------------------------------
+
+    def step(
+        self,
+        minibatch: Optional[Minibatch] = None,
+        neighbor_samples: Optional[list[NeighborSample]] = None,
+        phi_noise: Optional[np.ndarray] = None,
+        theta_noise: Optional[np.ndarray] = None,
+    ) -> StageTimes:
+        """Run one distributed iteration.
+
+        The optional arguments inject a fixed mini-batch / neighbor sets /
+        noise for replay against the sequential reference (used by the
+        equivalence tests); in normal operation they are all drawn
+        internally.
+        """
+        cfg = self.config
+        cost = self.cost
+        n_workers = self.cluster.n_workers
+        t = StageTimes()
+
+        # -- stage 1: draw + deploy (master) --------------------------------
+        draw = self.master.next_draw(minibatch)
+        shards = self.comm.scatter([None] + list(draw.shards))[1:]
+        payload = draw.scatter_payload_bytes()
+        t.draw_deploy = (
+            draw.minibatch.n_vertices * cost.c_draw_per_vertex
+            + payload / self.cluster.network.bandwidth
+            + self.cluster.network.latency
+        )
+
+        # -- stage 2+3: neighbor sampling + update_phi (workers) ------------
+        eps_phi = cfg.step_phi.at(self.iteration)
+        beta = self.beta
+        results = []
+        t_sample = t_load = t_comp = 0.0
+        vertex_order = draw.minibatch.vertices
+        for w, worker in enumerate(self.workers):
+            shard = shards[w]
+            if neighbor_samples is not None:
+                ns = neighbor_samples[w]
+            else:
+                ns = worker.sample_neighbors(shard)
+            noise_w = None
+            if phi_noise is not None:
+                # phi_noise rows follow minibatch.vertices order; shard w
+                # holds vertices [w::n_workers] of that order.
+                noise_w = phi_noise[w::n_workers]
+            res = worker.update_phi_pi(shard, ns, beta, eps_phi, noise=noise_w)
+            results.append(res)
+            t_sample = max(t_sample, shard.vertices.size * cfg.neighbor_sample_size * cost.c_neighbor_draw)
+            t_load = max(t_load, self._read_time(res.read_traffic))
+            t_comp = max(t_comp, res.ops_phi / cost.node_kernel_rate())
+        t.sample_neighbors = t_sample
+        t.load_pi = t_load
+        t.update_phi_compute = t_comp
+        self.comm.barrier()
+
+        # Pipelined: the master prepares the *next* mini-batch while the
+        # workers are inside update_phi (this really happens — the next
+        # step() consumes the prefetched draw).
+        if self.pipelined and minibatch is None:
+            self.master.prefetch()
+
+        # -- stage 4: update_pi (write-back) ---------------------------------
+        t_pi = 0.0
+        for worker, res in zip(self.workers, results):
+            traffic = worker.write_pi(res)
+            t_pi = max(
+                t_pi,
+                res.ops_pi / cost.node_kernel_rate() + self._write_time(traffic),
+            )
+        t.update_pi = t_pi
+        self.comm.barrier()
+
+        # -- stage 5: update_beta/theta ---------------------------------------
+        partials = []
+        t_beta_work = 0.0
+        for w, worker in enumerate(self.workers):
+            grad, traffic, ops = worker.theta_partial(shards[w], self.theta)
+            partials.append(grad)
+            t_beta_work = max(
+                t_beta_work,
+                ops * cost.c_beta_element + self._read_time(traffic),
+            )
+        grad_total = self.comm.reduce([np.zeros_like(self.theta)] + partials)
+        if theta_noise is None:
+            theta_noise = self.master.theta_noise(self.theta.shape)
+        from repro.core import gradients
+
+        self.theta = gradients.update_theta(
+            self.theta,
+            grad_total,
+            eps_t=cfg.step_theta.at(self.iteration),
+            eta=cfg.eta,
+            scale=1.0,
+            noise=theta_noise,
+        )
+        self.comm.bcast(self.beta)
+        import math as _math
+
+        theta_bytes = self.theta.nbytes
+        steps = max(1, _math.ceil(_math.log2(self.cluster.n_nodes)))
+        t.update_beta_theta = (
+            t_beta_work
+            + cost.tree_collective_time(theta_bytes)
+            + steps * cost.reduce_straggler_per_step
+            + cfg.n_communities / cost.node_kernel_rate(threads=1)
+            + cost.tree_collective_time(cfg.n_communities * 8)
+        )
+        t.barriers = 2 * cost.barrier_time()
+
+        # -- clock composition (Section III-D) ---------------------------------
+        if self.pipelined:
+            parts = (t.load_pi, t.update_phi_compute, t.draw_deploy)
+            residual = (t.load_pi + t.update_phi_compute) / cost.pipeline_chunks
+            t.update_phi = max(parts) + residual
+            t.update_beta_theta += cost.beta_load_interference * t.load_pi
+            t.total = (
+                t.sample_neighbors
+                + t.update_phi
+                + t.update_pi
+                + t.update_beta_theta
+                + t.barriers
+            )
+        else:
+            t.update_phi = t.load_pi + t.update_phi_compute
+            t.total = (
+                t.draw_deploy
+                + t.sample_neighbors
+                + t.update_phi
+                + t.update_pi
+                + t.update_beta_theta
+                + t.barriers
+            )
+
+        self.iteration += 1
+        self.timing.per_iteration.append(t)
+        return t
+
+    # -- perplexity --------------------------------------------------------------
+
+    def evaluate_perplexity(self) -> float:
+        """One distributed perplexity pass (Eqn 7, sample-averaged).
+
+        Each rank evaluates its static E_h slice against DKV-fresh pi,
+        accumulates into its local running probability sums, and the
+        log-average is reduced to the master.
+        """
+        if not self._heldout_parts:
+            raise RuntimeError("no held-out split was provided")
+        beta = self.beta
+        t_pass = 0.0
+        # Master's slice: read through the DKV as a pure client.
+        log_sum = 0.0
+        count = 0
+        self._prob_count += 1
+        for rank, (pairs, labels) in enumerate(self._heldout_parts):
+            if rank == 0:
+                if len(pairs):
+                    values, traffic = self.dkv.read_batch(MASTER_CLIENT, pairs.reshape(-1))
+                    from repro.core.perplexity import link_probability
+
+                    pi_pairs = values[:, :-1].reshape(len(pairs), 2, self.config.n_communities)
+                    p1 = link_probability(pi_pairs[:, 0], pi_pairs[:, 1], beta, self.config.delta)
+                    probs = np.where(labels, p1, 1.0 - p1)
+                else:
+                    probs, traffic = np.zeros(0), DKVTraffic()
+            else:
+                probs, traffic = self.workers[rank - 1].perplexity_partial(pairs, labels, beta)
+            self._prob_sums[rank] += probs
+            avg = self._prob_sums[rank] / self._prob_count
+            log_sum += float(np.log(np.maximum(avg, 1e-12)).sum())
+            count += len(pairs)
+            compute = len(pairs) * self.config.n_communities / self.cost.node_kernel_rate()
+            load = (
+                traffic.n_requests * self.cost.c_dkv_request
+                + traffic.bytes_remote / self.cluster.network.bandwidth
+            )
+            t_pass = max(t_pass, compute + load)
+        reduced = self.comm.reduce([np.array([log_sum, count])] + [np.zeros(2)] * self.cluster.n_workers)
+        t_pass += self.cost.tree_collective_time(16)
+        self.timing.perplexity_passes.append(t_pass)
+        return float(np.exp(-reduced[0] / max(reduced[1], 1)))
+
+    # -- driver -------------------------------------------------------------------
+
+    def run(self, n_iterations: int, perplexity_every: int = 0) -> list[StageTimes]:
+        """Run iterations; optionally evaluate perplexity periodically.
+
+        Returns the per-iteration simulated stage times.
+        """
+        out = []
+        for _ in range(n_iterations):
+            out.append(self.step())
+            if (
+                perplexity_every
+                and self._heldout_parts
+                and self.iteration % perplexity_every == 0
+            ):
+                self.evaluate_perplexity()
+        return out
+
+    def last_perplexity(self) -> float:
+        """Recompute the current averaged perplexity without a new sample."""
+        if not self._heldout_parts or self._prob_count == 0:
+            return float("inf")
+        log_sum = 0.0
+        count = 0
+        for rank, (pairs, _labels) in enumerate(self._heldout_parts):
+            avg = self._prob_sums[rank] / self._prob_count
+            log_sum += float(np.log(np.maximum(avg, 1e-12)).sum())
+            count += len(pairs)
+        return float(np.exp(-log_sum / max(count, 1)))

@@ -1,0 +1,225 @@
+"""Worker rank: neighbor sampling and the update kernels against the DKV.
+
+A worker never touches the global graph or the full pi matrix. Its inputs
+per iteration are exactly what the master scattered (its
+:class:`~repro.dist.partition.WorkerShard`) plus values it reads from the
+DKV store; its outputs are DKV writes (new pi rows) and a theta-gradient
+partial sum handed to the MPI reduce.
+
+The numerical kernels are the shared ones from :mod:`repro.core.gradients`
+— a worker computes exactly what the sequential sampler would compute for
+its slice of the mini-batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.config import AMMSBConfig
+from repro.core import gradients
+from repro.core.minibatch import NeighborSample
+from repro.cluster.dkv import DKVStore, DKVTraffic
+from repro.dist.partition import WorkerShard
+
+
+@dataclass
+class PhiStageResult:
+    """What update_phi/update_pi produced at one worker."""
+
+    vertices: np.ndarray
+    new_values: np.ndarray  # (m, K+1): new pi rows + phi_sum
+    read_traffic: DKVTraffic
+    write_traffic: Optional[DKVTraffic] = None
+    ops_phi: int = 0
+    ops_pi: int = 0
+
+
+class WorkerContext:
+    """State and behaviour of one worker rank.
+
+    Args:
+        worker: 0-based worker index (DKV server id; MPI rank worker+1).
+        config: shared configuration.
+        n_vertices: N (needed for neighbor sampling and update scales).
+        dkv: the distributed KV store holding ``[pi | phi_sum]`` rows.
+        heldout_keys: sorted canonical held-out keys (broadcast at init),
+            masked out of neighbor sets.
+    """
+
+    def __init__(
+        self,
+        worker: int,
+        config: AMMSBConfig,
+        n_vertices: int,
+        dkv: DKVStore,
+        heldout_keys: Optional[np.ndarray] = None,
+    ) -> None:
+        self.worker = worker
+        self.config = config
+        self.n_vertices = n_vertices
+        self.dkv = dkv
+        self.heldout_keys = (
+            np.sort(np.asarray(heldout_keys, dtype=np.int64))
+            if heldout_keys is not None and len(heldout_keys)
+            else np.zeros(0, dtype=np.int64)
+        )
+        # Independent per-worker streams; offsets keep them disjoint from
+        # the master's streams for any worker count.
+        self.rng = np.random.default_rng(config.seed + 1009 * (worker + 1))
+        self.noise_rng = np.random.default_rng(config.seed + 2003 * (worker + 1))
+
+    # -- neighbor sampling ----------------------------------------------------
+
+    def _in_heldout(self, keys: np.ndarray) -> np.ndarray:
+        if not self.heldout_keys.size or not keys.size:
+            return np.zeros(keys.shape, dtype=bool)
+        idx = np.minimum(
+            np.searchsorted(self.heldout_keys, keys), self.heldout_keys.size - 1
+        )
+        return self.heldout_keys[idx] == keys
+
+    def sample_neighbors(self, shard: WorkerShard) -> NeighborSample:
+        """Draw V_n per shard vertex; labels come from the scattered
+        adjacency slice — the worker has no other view of E."""
+        vertices = shard.vertices
+        m = vertices.size
+        n_sample = self.config.neighbor_sample_size
+        n = self.n_vertices
+        neighbors = self.rng.integers(0, n, size=(m, n_sample))
+        mask = neighbors != vertices[:, None]
+        lo = np.minimum(vertices[:, None], neighbors)
+        hi = np.maximum(vertices[:, None], neighbors)
+        keys = lo * np.int64(n) + hi
+        mask &= ~self._in_heldout(keys)
+        labels = shard.adjacency.links_against(neighbors) & mask
+        empty = ~mask.any(axis=1)
+        if np.any(empty):
+            rows = np.flatnonzero(empty)
+            repl = (vertices[rows] + 1) % n
+            neighbors[rows, 0] = repl
+            mask[rows, 0] = repl != vertices[rows]
+            labels[rows, 0] = False
+        return NeighborSample(neighbors=neighbors, labels=labels, mask=mask)
+
+    # -- update_phi / update_pi --------------------------------------------------
+
+    def update_phi_pi(
+        self,
+        shard: WorkerShard,
+        neighbor_sample: NeighborSample,
+        beta: np.ndarray,
+        eps_t: float,
+        noise: Optional[np.ndarray] = None,
+    ) -> PhiStageResult:
+        """Load pi from the DKV, run Eqns 5-6 for the shard, produce new rows.
+
+        The write-back is separate (:meth:`write_pi`) because the paper
+        puts an MPI barrier between update_phi and update_pi for memory
+        consistency.
+        """
+        cfg = self.config
+        vs = shard.vertices
+        m = vs.size
+        if m == 0:
+            return PhiStageResult(
+                vertices=vs,
+                new_values=np.zeros((0, self.dkv.value_dim)),
+                read_traffic=DKVTraffic(),
+            )
+        # One batched DKV read covers the shard vertices and all neighbors.
+        all_keys = np.concatenate([vs, neighbor_sample.neighbors.reshape(-1)])
+        values, read_traffic = self.dkv.read_batch(self.worker, all_keys)
+        pi_a = values[:m, :-1]
+        phi_sum_a = values[:m, -1]
+        pi_b = values[m:, :-1].reshape(m, -1, cfg.n_communities)
+
+        grad = gradients.phi_gradient_sum(
+            pi_a,
+            phi_sum_a,
+            pi_b,
+            neighbor_sample.labels,
+            beta,
+            cfg.delta,
+            mask=neighbor_sample.mask,
+        )
+        counts = np.maximum(neighbor_sample.counts, 1)
+        scale = self.n_vertices / counts
+        if noise is None:
+            noise = self.noise_rng.standard_normal(pi_a.shape)
+        phi_a = pi_a * phi_sum_a[:, None]
+        new_phi = gradients.update_phi(
+            phi_a,
+            grad,
+            eps_t=eps_t,
+            alpha=cfg.effective_alpha,
+            scale=scale,
+            noise=noise,
+            phi_floor=cfg.phi_floor,
+            phi_clip=cfg.phi_clip,
+        )
+        sums = new_phi.sum(axis=1)
+        new_values = np.concatenate([new_phi / sums[:, None], sums[:, None]], axis=1)
+        return PhiStageResult(
+            vertices=vs,
+            new_values=new_values,
+            read_traffic=read_traffic,
+            ops_phi=int(m * neighbor_sample.neighbors.shape[1] * cfg.n_communities),
+            ops_pi=int(m * cfg.n_communities),
+        )
+
+    def write_pi(self, result: PhiStageResult) -> DKVTraffic:
+        """update_pi stage: write the new ``[pi | phi_sum]`` rows through
+        the DKV store (unique vertices, so no write/write hazards)."""
+        if result.vertices.size == 0:
+            return DKVTraffic()
+        traffic = self.dkv.write_batch(self.worker, result.vertices, result.new_values)
+        result.write_traffic = traffic
+        return traffic
+
+    # -- update_beta partials -------------------------------------------------------
+
+    def theta_partial(
+        self, shard: WorkerShard, theta: np.ndarray
+    ) -> tuple[np.ndarray, DKVTraffic, int]:
+        """h-scaled theta-gradient partial sum over this worker's strata.
+
+        Reads the endpoint pi rows from the DKV (fresh values — the stage
+        runs after the update_pi barrier).
+        """
+        cfg = self.config
+        grad = np.zeros_like(theta)
+        traffic = DKVTraffic()
+        ops = 0
+        for stratum in shard.strata:
+            keys = stratum.pairs.reshape(-1)
+            values, t = self.dkv.read_batch(self.worker, keys)
+            traffic.merge(t)
+            pi_pairs = values[:, :-1].reshape(len(stratum.pairs), 2, cfg.n_communities)
+            g = gradients.theta_gradient_sum(
+                pi_pairs[:, 0],
+                pi_pairs[:, 1],
+                stratum.labels.astype(np.int64),
+                theta,
+                cfg.delta,
+            )
+            grad += stratum.scale * g
+            ops += len(stratum.pairs) * cfg.n_communities
+        return grad, traffic, ops
+
+    # -- perplexity partials ------------------------------------------------------------
+
+    def perplexity_partial(
+        self, pairs: np.ndarray, labels: np.ndarray, beta: np.ndarray
+    ) -> tuple[np.ndarray, DKVTraffic]:
+        """Per-pair link probabilities for this rank's static E_h slice."""
+        from repro.core.perplexity import link_probability
+
+        if len(pairs) == 0:
+            return np.zeros(0), DKVTraffic()
+        values, traffic = self.dkv.read_batch(self.worker, pairs.reshape(-1))
+        pi_pairs = values[:, :-1].reshape(len(pairs), 2, self.config.n_communities)
+        p1 = link_probability(pi_pairs[:, 0], pi_pairs[:, 1], beta, self.config.delta)
+        return np.where(labels, p1, 1.0 - p1), traffic

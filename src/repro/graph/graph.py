@@ -1,0 +1,224 @@
+"""Compact undirected graph with CSR adjacency and O(log d) edge queries.
+
+The SG-MCMC algorithm needs three graph operations, all of which must be
+fast and vectorized:
+
+- enumerate the neighbors of a vertex (CSR slice) — used when the master
+  scatters the mini-batch together with the touched slice of the edge set;
+- test whether a pair is linked (``y_ab``) for whole arrays of pairs at
+  once — used by update_phi on sampled neighbor sets and by the
+  perplexity kernel on the held-out set;
+- sample uniform non-link pairs — used by the held-out split and the
+  stratified mini-batch sampler.
+
+Edges are stored canonically (``a < b``) in a sorted key array
+(``key = a * N + b``), so membership tests are a vectorized
+``np.searchsorted``. The CSR arrays cover both directions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+import numpy as np
+
+
+def edge_key(a: int, b: int, n: int) -> int:
+    """Canonical scalar key of the undirected pair (a, b) in an n-vertex graph."""
+    if a == b:
+        raise ValueError(f"self-loop ({a},{a}) has no edge key")
+    lo, hi = (a, b) if a < b else (b, a)
+    return int(lo) * n + int(hi)
+
+
+def edge_keys(pairs: np.ndarray, n: int) -> np.ndarray:
+    """Vectorized :func:`edge_key` for an (m, 2) int array of pairs."""
+    pairs = np.asarray(pairs)
+    lo = np.minimum(pairs[:, 0], pairs[:, 1]).astype(np.int64)
+    hi = np.maximum(pairs[:, 0], pairs[:, 1]).astype(np.int64)
+    return lo * np.int64(n) + hi
+
+
+class Graph:
+    """Immutable undirected graph.
+
+    Args:
+        n_vertices: number of vertices (ids ``0 .. n-1``).
+        edges: (m, 2) integer array of undirected edges. Duplicates and
+            self-loops are rejected.
+
+    Attributes:
+        n_vertices: N.
+        n_edges: number of undirected edges.
+        edges: (m, 2) canonicalized (``a < b``), sorted by key.
+    """
+
+    def __init__(self, n_vertices: int, edges: np.ndarray) -> None:
+        if n_vertices <= 0:
+            raise ValueError("graph needs at least one vertex")
+        edges = np.asarray(edges, dtype=np.int64)
+        if edges.size == 0:
+            edges = edges.reshape(0, 2)
+        if edges.ndim != 2 or edges.shape[1] != 2:
+            raise ValueError(f"edges must be (m, 2), got {edges.shape}")
+        if edges.size and (edges.min() < 0 or edges.max() >= n_vertices):
+            raise ValueError("edge endpoint out of range")
+        if edges.size and np.any(edges[:, 0] == edges[:, 1]):
+            raise ValueError("self-loops are not allowed")
+
+        self.n_vertices = int(n_vertices)
+        lo = np.minimum(edges[:, 0], edges[:, 1])
+        hi = np.maximum(edges[:, 0], edges[:, 1])
+        keys = lo * np.int64(n_vertices) + hi
+        order = np.argsort(keys, kind="stable")
+        keys = keys[order]
+        if keys.size and np.any(np.diff(keys) == 0):
+            raise ValueError("duplicate edges are not allowed")
+        self._keys = keys
+        self.edges = np.column_stack([lo[order], hi[order]])
+        self.n_edges = int(keys.size)
+
+        # CSR over both directions.
+        src = np.concatenate([self.edges[:, 0], self.edges[:, 1]])
+        dst = np.concatenate([self.edges[:, 1], self.edges[:, 0]])
+        order2 = np.argsort(src, kind="stable")
+        self._csr_indices = dst[order2]
+        self._csr_indptr = np.zeros(n_vertices + 1, dtype=np.int64)
+        np.add.at(self._csr_indptr, src + 1, 1)
+        np.cumsum(self._csr_indptr, out=self._csr_indptr)
+        self._sort_adjacency()
+
+    def _sort_adjacency(self) -> None:
+        indptr, indices = self._csr_indptr, self._csr_indices
+        # Vectorized per-row sort: sort by (row, value) pairs.
+        rows = np.repeat(np.arange(self.n_vertices, dtype=np.int64), np.diff(indptr))
+        order = np.lexsort((indices, rows))
+        self._csr_indices = indices[order]
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Vertex degrees, shape (N,)."""
+        return np.diff(self._csr_indptr)
+
+    def degree(self, v: int) -> int:
+        return int(self._csr_indptr[v + 1] - self._csr_indptr[v])
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Sorted neighbor ids of ``v`` (a view; do not mutate)."""
+        return self._csr_indices[self._csr_indptr[v] : self._csr_indptr[v + 1]]
+
+    def has_edge(self, a: int, b: int) -> bool:
+        if a == b:
+            return False
+        k = edge_key(a, b, self.n_vertices)
+        i = np.searchsorted(self._keys, k)
+        return bool(i < self._keys.size and self._keys[i] == k)
+
+    def has_edges(self, pairs: np.ndarray) -> np.ndarray:
+        """Vectorized linkedness test for an (m, 2) array; self-pairs -> False."""
+        pairs = np.asarray(pairs, dtype=np.int64)
+        if pairs.size == 0:
+            return np.zeros(0, dtype=bool)
+        # Self-pairs produce key a*N+a, which cannot collide with any
+        # canonical key lo*N+hi (lo < hi < N has a unique decomposition),
+        # so they naturally test False.
+        lo = np.minimum(pairs[:, 0], pairs[:, 1])
+        hi = np.maximum(pairs[:, 0], pairs[:, 1])
+        keys = lo * np.int64(self.n_vertices) + hi
+        if not self._keys.size:
+            return np.zeros(len(pairs), dtype=bool)
+        idx = np.minimum(np.searchsorted(self._keys, keys), self._keys.size - 1)
+        return self._keys[idx] == keys
+
+    def adjacency_slice(self, vertices: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """CSR sub-slices for a vertex set.
+
+        Returns ``(indptr, indices)`` of a compacted CSR that holds, for each
+        requested vertex in order, its neighbor list. This is exactly the
+        "subset of E touched by the mini-batch" the master scatters to the
+        workers (paper Section III-A).
+        """
+        vertices = np.asarray(vertices, dtype=np.int64)
+        counts = self._csr_indptr[vertices + 1] - self._csr_indptr[vertices]
+        out_indptr = np.zeros(len(vertices) + 1, dtype=np.int64)
+        np.cumsum(counts, out=out_indptr[1:])
+        out_indices = np.empty(int(out_indptr[-1]), dtype=np.int64)
+        for i, v in enumerate(vertices):
+            out_indices[out_indptr[i] : out_indptr[i + 1]] = self.neighbors(int(v))
+        return out_indptr, out_indices
+
+    # -- sampling ----------------------------------------------------------
+
+    def sample_nonlink_pairs(
+        self, m: int, rng: np.random.Generator, exclude_keys: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Sample ``m`` uniform unordered non-linked, non-self pairs.
+
+        Rejection sampling; with the sparse graphs this model targets
+        (density well below 1e-2) the expected number of rounds is ~1.
+        ``exclude_keys`` (sorted) lets callers also avoid e.g. held-out pairs.
+        """
+        if m < 0:
+            raise ValueError("m must be >= 0")
+        n = self.n_vertices
+        if n < 2:
+            raise ValueError("need >= 2 vertices to sample pairs")
+        rows: list[np.ndarray] = []
+        n_found = 0
+        seen: set[int] = set()  # dedupe within the sample
+        max_rounds = 100
+        for _ in range(max_rounds):
+            if n_found >= m:
+                break
+            need = (m - n_found) * 2 + 16
+            a = rng.integers(0, n, size=need)
+            b = rng.integers(0, n, size=need)
+            ok = a != b
+            cand = np.column_stack([np.minimum(a, b), np.maximum(a, b)])[ok]
+            keys = cand[:, 0] * np.int64(n) + cand[:, 1]
+            linked = np.zeros(len(cand), dtype=bool)
+            if self._keys.size:
+                idx = np.minimum(np.searchsorted(self._keys, keys), self._keys.size - 1)
+                linked = self._keys[idx] == keys
+            keep = ~linked
+            if exclude_keys is not None and exclude_keys.size:
+                idx = np.minimum(np.searchsorted(exclude_keys, keys), exclude_keys.size - 1)
+                keep &= exclude_keys[idx] != keys
+            for row, k in zip(cand[keep], keys[keep]):
+                if int(k) not in seen:
+                    seen.add(int(k))
+                    rows.append(row)
+                    n_found += 1
+                    if n_found >= m:
+                        break
+        if n_found < m:
+            raise RuntimeError(f"could not sample {m} non-link pairs (graph too dense?)")
+        return np.array(rows[:m], dtype=np.int64).reshape(m, 2)
+
+    # -- derived quantities --------------------------------------------------
+
+    @property
+    def density(self) -> float:
+        n = self.n_vertices
+        total = n * (n - 1) / 2
+        return self.n_edges / total if total else 0.0
+
+    def subgraph(self, remove_keys: np.ndarray) -> "Graph":
+        """Graph with the edges whose keys appear in ``remove_keys`` removed."""
+        remove_keys = np.sort(np.asarray(remove_keys, dtype=np.int64))
+        if remove_keys.size == 0:
+            return Graph(self.n_vertices, self.edges)
+        idx = np.minimum(np.searchsorted(remove_keys, self._keys), remove_keys.size - 1)
+        keep = remove_keys[idx] != self._keys
+        return Graph(self.n_vertices, self.edges[keep])
+
+    @property
+    def keys(self) -> np.ndarray:
+        """Sorted canonical keys of all edges (read-only view)."""
+        return self._keys
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Graph(N={self.n_vertices}, |E|={self.n_edges})"

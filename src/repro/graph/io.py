@@ -1,0 +1,79 @@
+"""Graph serialization: SNAP-style edge lists and compact NPZ.
+
+SNAP distributes graphs as whitespace-separated edge lists with ``#``
+comments; :func:`load_edge_list` accepts that format (so real downloads can
+be dropped in where the synthetic stand-ins are used today), and
+:func:`save_npz` / :func:`load_npz` provide a fast binary round-trip for
+generated datasets.
+"""
+
+from __future__ import annotations
+
+import io as _io
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.graph.graph import Graph
+
+PathLike = Union[str, Path]
+
+
+def load_edge_list(path: PathLike, n_vertices: int | None = None) -> Graph:
+    """Load a SNAP-format edge list.
+
+    Vertex ids are remapped densely (SNAP files have sparse id spaces) in
+    first-appearance order unless ``n_vertices`` is given, in which case ids
+    are taken literally and must be < n_vertices. Duplicate undirected edges
+    and self-loops are dropped (SNAP lists each undirected edge twice).
+    """
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", UserWarning)  # empty-input warning
+        raw = np.loadtxt(str(path), comments="#", dtype=np.int64, ndmin=2)
+    if raw.size == 0:
+        raise ValueError(f"no edges in {path}")
+    if raw.shape[1] != 2:
+        raise ValueError(f"expected 2 columns, got {raw.shape[1]}")
+    if n_vertices is None:
+        ids, inverse = np.unique(raw, return_inverse=True)
+        raw = inverse.reshape(raw.shape)
+        n_vertices = int(ids.size)
+    raw = raw[raw[:, 0] != raw[:, 1]]
+    lo = np.minimum(raw[:, 0], raw[:, 1])
+    hi = np.maximum(raw[:, 0], raw[:, 1])
+    keys = lo * np.int64(n_vertices) + hi
+    _, idx = np.unique(keys, return_index=True)
+    return Graph(n_vertices, np.column_stack([lo, hi])[idx])
+
+
+def save_edge_list(graph: Graph, path: PathLike, header: str = "") -> None:
+    """Write a SNAP-style edge list (one canonical direction per edge)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        if header:
+            for line in header.splitlines():
+                fh.write(f"# {line}\n")
+        fh.write(f"# Nodes: {graph.n_vertices} Edges: {graph.n_edges}\n")
+        np.savetxt(fh, graph.edges, fmt="%d")
+
+
+def save_npz(graph: Graph, path: PathLike) -> None:
+    """Binary round-trip save."""
+    np.savez_compressed(str(path), n_vertices=graph.n_vertices, edges=graph.edges)
+
+
+def load_npz(path: PathLike) -> Graph:
+    """Load a graph saved by :func:`save_npz`."""
+    with np.load(str(path)) as data:
+        return Graph(int(data["n_vertices"]), data["edges"])
+
+
+def from_networkx(g) -> Graph:  # pragma: no cover - optional dependency
+    """Convert a networkx graph (relabeling vertices densely)."""
+    import networkx as nx
+
+    mapping = {v: i for i, v in enumerate(g.nodes())}
+    edges = np.array([[mapping[a], mapping[b]] for a, b in g.edges() if a != b], dtype=np.int64)
+    return Graph(g.number_of_nodes(), edges)

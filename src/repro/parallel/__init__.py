@@ -1,0 +1,11 @@
+"""Single-node multi-threaded engine (vertical scaling, Section IV-D).
+
+NumPy releases the GIL inside its kernels, so chunked thread-pool
+data-parallelism over the mini-batch vertices mirrors the paper's OpenMP
+parallelization of update_phi and the perplexity kernel.
+"""
+
+from repro.parallel.threadpool import chunked_thread_map, chunk_ranges
+from repro.parallel.sampler import ThreadedAMMSBSampler
+
+__all__ = ["chunked_thread_map", "chunk_ranges", "ThreadedAMMSBSampler"]

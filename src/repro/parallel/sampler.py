@@ -1,0 +1,143 @@
+"""Multi-threaded single-node sampler (the paper's vertical-scaling rival).
+
+:class:`ThreadedAMMSBSampler` extends the sequential reference by running
+update_phi (the dominant stage) and the theta-gradient partials over a
+thread pool, chunked across mini-batch vertices / stratum edges. Noise is
+pre-drawn for the whole mini-batch before chunking, so the threaded run is
+numerically identical to the sequential one given the same RNG seeds —
+the property the equivalence tests rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.config import AMMSBConfig
+from repro.core import gradients
+from repro.core.minibatch import Minibatch, NeighborSample
+from repro.core.sampler import AMMSBSampler
+from repro.graph.graph import Graph
+from repro.graph.split import HeldoutSplit
+from repro.parallel.threadpool import chunked_thread_map
+
+
+class ThreadedAMMSBSampler(AMMSBSampler):
+    """Data-parallel sampler for one shared-memory machine.
+
+    Args:
+        graph / config / heldout / state: as the sequential sampler.
+        n_threads: worker threads (default: half the logical CPUs, a
+            reasonable stand-in for physical cores).
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        config: AMMSBConfig,
+        heldout: Optional[HeldoutSplit] = None,
+        state=None,
+        n_threads: Optional[int] = None,
+    ) -> None:
+        super().__init__(graph, config, heldout=heldout, state=state)
+        if n_threads is None:
+            import os
+
+            n_threads = max(1, (os.cpu_count() or 2) // 2)
+        if n_threads < 1:
+            raise ValueError("n_threads must be >= 1")
+        self.n_threads = n_threads
+
+    def update_phi_pi(
+        self,
+        minibatch: Minibatch,
+        neighbor_sample: NeighborSample,
+        noise: Optional[np.ndarray] = None,
+    ) -> None:
+        """Chunked thread-parallel version of the phi/pi stage.
+
+        The chunk kernel reads shared state (pi rows of neighbors) and
+        writes disjoint rows (its own mini-batch vertices), so no locking
+        is needed — the same argument the paper makes for the absence of
+        read/write hazards in the DKV stages.
+        """
+        cfg = self.config
+        vs = minibatch.vertices
+        m = vs.size
+        if noise is None:
+            noise = self.noise_rng.standard_normal((m, cfg.n_communities))
+        eps_t = cfg.step_phi.at(self.iteration)
+        beta = self.state.beta
+        n_vertices = self.graph.n_vertices
+
+        pi = self.state.pi
+        phi_sum = self.state.phi_sum
+        new_phi = np.empty((m, cfg.n_communities))
+
+        def work(a: int, b: int) -> None:
+            sl = slice(a, b)
+            v = vs[sl]
+            pi_a = pi[v]
+            phi_sum_a = phi_sum[v]
+            pi_b = pi[neighbor_sample.neighbors[sl]]
+            grad = gradients.phi_gradient_sum(
+                pi_a,
+                phi_sum_a,
+                pi_b,
+                neighbor_sample.labels[sl],
+                beta,
+                cfg.delta,
+                mask=neighbor_sample.mask[sl],
+            )
+            counts = np.maximum(neighbor_sample.mask[sl].sum(axis=1, keepdims=True), 1)
+            new_phi[sl] = gradients.update_phi(
+                pi_a * phi_sum_a[:, None],
+                grad,
+                eps_t=eps_t,
+                alpha=cfg.effective_alpha,
+                scale=n_vertices / counts,
+                noise=noise[sl],
+                phi_floor=cfg.phi_floor,
+                phi_clip=cfg.phi_clip,
+            )
+
+        chunked_thread_map(work, m, self.n_threads)
+        self.state.set_phi_rows(vs, new_phi)
+
+    def update_beta_theta(
+        self, minibatch: Minibatch, noise: Optional[np.ndarray] = None
+    ) -> None:
+        """Thread-parallel theta gradient: one task per stratum, summed.
+
+        Summation order is fixed (stratum index), so results match the
+        sequential engine bit-for-bit up to float addition order within a
+        stratum, which is unchanged.
+        """
+        cfg = self.config
+        strata = minibatch.strata
+
+        def work(a: int, b: int) -> np.ndarray:
+            part = np.zeros_like(self.state.theta)
+            for s in strata[a:b]:
+                pi_a = self.state.pi[s.pairs[:, 0]]
+                pi_b = self.state.pi[s.pairs[:, 1]]
+                part += s.scale * gradients.theta_gradient_sum(
+                    pi_a, pi_b, s.labels.astype(np.int64), self.state.theta, cfg.delta
+                )
+            return part
+
+        parts = chunked_thread_map(work, len(strata), self.n_threads)
+        grad_total = np.zeros_like(self.state.theta)
+        for p in parts:
+            grad_total += p
+        if noise is None:
+            noise = self.noise_rng.standard_normal(self.state.theta.shape)
+        self.state.theta = gradients.update_theta(
+            self.state.theta,
+            grad_total,
+            eps_t=cfg.step_theta.at(self.iteration),
+            eta=cfg.eta,
+            scale=1.0,
+            noise=noise,
+        )

@@ -1,0 +1,46 @@
+"""Chunked thread-pool helpers for data-parallel NumPy kernels.
+
+The a-MMSB kernels are embarrassingly data-parallel over mini-batch
+vertices (update_phi) and held-out pairs (perplexity). NumPy releases the
+GIL inside vectorized operations, so a ThreadPoolExecutor over contiguous
+chunks gives real multi-core speedup without shared-memory copies — the
+Python analogue of the paper's OpenMP ``parallel for``.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def chunk_ranges(n: int, n_chunks: int) -> list[tuple[int, int]]:
+    """Split range(n) into ``n_chunks`` near-equal contiguous (start, stop).
+
+    Empty chunks are dropped, so the result may be shorter than
+    ``n_chunks`` when ``n < n_chunks``.
+    """
+    if n < 0 or n_chunks < 1:
+        raise ValueError("need n >= 0 and n_chunks >= 1")
+    bounds = [i * n // n_chunks for i in range(n_chunks + 1)]
+    return [(bounds[i], bounds[i + 1]) for i in range(n_chunks) if bounds[i] < bounds[i + 1]]
+
+
+def chunked_thread_map(
+    fn: Callable[[int, int], T],
+    n: int,
+    n_threads: int,
+    chunks_per_thread: int = 1,
+) -> list[T]:
+    """Apply ``fn(start, stop)`` over chunks of range(n) in a thread pool.
+
+    Results are returned in chunk order. With ``n_threads == 1`` the pool
+    is bypassed entirely (exact sequential semantics, no thread overhead).
+    """
+    ranges = chunk_ranges(n, max(1, n_threads * chunks_per_thread))
+    if n_threads <= 1 or len(ranges) <= 1:
+        return [fn(a, b) for a, b in ranges]
+    with ThreadPoolExecutor(max_workers=n_threads) as pool:
+        futures = [pool.submit(fn, a, b) for a, b in ranges]
+        return [f.result() for f in futures]

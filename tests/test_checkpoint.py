@@ -1,0 +1,81 @@
+"""Checkpoint/resume: bit-exact continuation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.checkpoint import load_checkpoint, save_checkpoint
+from repro.core.sampler import AMMSBSampler
+from repro.graph.split import split_heldout
+
+
+class TestCheckpoint:
+    def test_resume_is_bit_identical(self, planted, config, tmp_path):
+        """run 20 == (run 10, checkpoint, restore, run 10)."""
+        graph, _ = planted
+        reference = AMMSBSampler(graph, config)
+        reference.run(20)
+
+        half = AMMSBSampler(graph, config)
+        half.run(10)
+        ckpt = tmp_path / "half.npz"
+        save_checkpoint(ckpt, half)
+        resumed = load_checkpoint(ckpt, graph)
+        resumed.run(10)
+
+        np.testing.assert_array_equal(resumed.state.pi, reference.state.pi)
+        np.testing.assert_array_equal(resumed.state.theta, reference.state.theta)
+        assert resumed.iteration == reference.iteration == 20
+
+    def test_perplexity_state_restored(self, planted, config, tmp_path):
+        graph, _ = planted
+        split = split_heldout(graph, 0.03, np.random.default_rng(5))
+        s = AMMSBSampler(split.train, config, heldout=split)
+        s.run(30, perplexity_every=10)
+        before = s.perplexity_estimator.value()
+        ckpt = tmp_path / "p.npz"
+        save_checkpoint(ckpt, s)
+        restored = load_checkpoint(ckpt, split.train, heldout=split)
+        assert restored.perplexity_estimator.value() == pytest.approx(before)
+        assert restored.perplexity_estimator.n_samples == s.perplexity_estimator.n_samples
+
+    def test_config_round_trip(self, planted, config, tmp_path):
+        graph, _ = planted
+        cfg = config.with_updates(delta=3e-5, alpha=0.07)
+        s = AMMSBSampler(graph, cfg)
+        s.run(2)
+        ckpt = tmp_path / "c.npz"
+        save_checkpoint(ckpt, s)
+        restored = load_checkpoint(ckpt, graph)
+        assert restored.config == cfg
+
+    def test_bad_version_rejected(self, planted, config, tmp_path):
+        import json
+
+        graph, _ = planted
+        s = AMMSBSampler(graph, config)
+        ckpt = tmp_path / "v.npz"
+        save_checkpoint(ckpt, s)
+        with np.load(str(ckpt)) as data:
+            meta = json.loads(str(data["_meta"]))
+            arrays = {k: data[k] for k in data.files if k != "_meta"}
+        meta["version"] = 999
+        np.savez_compressed(str(ckpt), _meta=json.dumps(meta), **arrays)
+        with pytest.raises(ValueError):
+            load_checkpoint(ckpt, graph)
+
+    def test_state_validated_on_load(self, planted, config, tmp_path):
+        import json
+
+        graph, _ = planted
+        s = AMMSBSampler(graph, config)
+        ckpt = tmp_path / "bad.npz"
+        save_checkpoint(ckpt, s)
+        with np.load(str(ckpt)) as data:
+            meta = str(data["_meta"])
+            arrays = {k: data[k].copy() for k in data.files if k != "_meta"}
+        arrays["theta"][0, 0] = -1.0
+        np.savez_compressed(str(ckpt), _meta=meta, **arrays)
+        with pytest.raises(ValueError):
+            load_checkpoint(ckpt, graph)

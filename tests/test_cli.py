@@ -1,0 +1,109 @@
+"""CLI end-to-end tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+class TestGenerate:
+    def test_standin(self, tmp_path, capsys):
+        out = tmp_path / "g.txt"
+        rc = main(["generate", "--dataset", "com-DBLP", "--scale", "2e-3",
+                   "--output", str(out)])
+        assert rc == 0
+        assert out.exists()
+        from repro.graph.io import load_edge_list
+
+        g = load_edge_list(out)
+        assert g.n_edges > 100
+
+    def test_planted(self, tmp_path):
+        out = tmp_path / "p.txt"
+        rc = main(["generate", "--vertices", "120", "--communities", "4",
+                   "--output", str(out)])
+        assert rc == 0
+        assert out.exists()
+
+    def test_unknown_dataset(self, tmp_path):
+        rc = main(["generate", "--dataset", "nope", "--output",
+                   str(tmp_path / "x.txt")])
+        assert rc == 2
+
+
+class TestDetect:
+    def test_end_to_end(self, tmp_path, capsys):
+        edges = tmp_path / "g.txt"
+        main(["generate", "--vertices", "150", "--communities", "3",
+              "--output", str(edges)])
+        covers = tmp_path / "covers.txt"
+        rc = main([
+            "detect", "--edges", str(edges), "-k", "3",
+            "--iterations", "200", "--mini-batch", "32",
+            "--output", str(covers),
+        ])
+        assert rc == 0
+        lines = covers.read_text().strip().splitlines()
+        assert 1 <= len(lines) <= 3
+        # every line is a space-separated list of valid vertex ids
+        for line in lines:
+            ids = [int(tok) for tok in line.split()]
+            assert all(0 <= v < 150 for v in ids)
+
+    def test_stdout_output(self, tmp_path, capsys):
+        edges = tmp_path / "g.txt"
+        main(["generate", "--vertices", "100", "--communities", "3",
+              "--output", str(edges)])
+        rc = main(["detect", "--edges", str(edges), "-k", "3",
+                   "--iterations", "100", "--mini-batch", "32"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.strip()
+
+
+class TestBenchmark:
+    @pytest.mark.parametrize("exp", ["table2", "fig2", "table3", "chunks"])
+    def test_experiments_print_tables(self, exp, capsys):
+        rc = main(["benchmark", "-e", exp])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert len(out.splitlines()) >= 4
+
+    def test_unknown_experiment(self):
+        assert main(["benchmark", "-e", "fig99"]) == 2
+
+    def test_calibrate(self, capsys):
+        rc = main(["calibrate"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "max relative error" in out
+
+    def test_csv_export(self, tmp_path, capsys):
+        csv_path = tmp_path / "fig2.csv"
+        rc = main(["benchmark", "-e", "fig2", "--csv", str(csv_path)])
+        assert rc == 0
+        lines = csv_path.read_text().strip().splitlines()
+        assert lines[0].startswith("workers,")
+        assert len(lines) >= 4
+
+
+class TestDetectCheckpointing:
+    def test_checkpoint_and_resume(self, tmp_path, capsys):
+        edges = tmp_path / "g.txt"
+        main(["generate", "--vertices", "120", "--communities", "3",
+              "--output", str(edges)])
+        ckpt = tmp_path / "run.npz"
+        rc = main(["detect", "--edges", str(edges), "-k", "3",
+                   "--iterations", "100", "--mini-batch", "32",
+                   "--checkpoint", str(ckpt), "--output",
+                   str(tmp_path / "c1.txt")])
+        assert rc == 0 and ckpt.exists()
+        # Resume with a larger budget: continues from iteration 100.
+        rc = main(["detect", "--edges", str(edges), "-k", "3",
+                   "--iterations", "200", "--mini-batch", "32",
+                   "--resume", str(ckpt), "--output",
+                   str(tmp_path / "c2.txt")])
+        assert rc == 0
+        assert (tmp_path / "c2.txt").exists()

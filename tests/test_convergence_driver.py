@@ -1,0 +1,52 @@
+"""run_until_converged driver tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import AMMSBConfig, StepSizeConfig
+from repro.core.diagnostics import ConvergenceMonitor
+from repro.core.sampler import AMMSBSampler
+from repro.graph.split import split_heldout
+
+
+class TestRunUntilConverged:
+    def test_requires_heldout(self, planted, config):
+        graph, _ = planted
+        s = AMMSBSampler(graph, config)
+        with pytest.raises(RuntimeError):
+            s.run_until_converged()
+
+    def test_stops_within_budget(self, planted):
+        graph, _ = planted
+        split = split_heldout(graph, 0.03, np.random.default_rng(5))
+        cfg = AMMSBConfig(
+            n_communities=4,
+            mini_batch_vertices=48,
+            neighbor_sample_size=24,
+            seed=11,
+            step_phi=StepSizeConfig(a=0.05),
+            step_theta=StepSizeConfig(a=0.05),
+        )
+        s = AMMSBSampler(split.train, cfg, heldout=split)
+        best, iters = s.run_until_converged(
+            max_iterations=6000,
+            checkpoint_every=150,
+            monitor=ConvergenceMonitor(window=5, rel_tol=0.01, min_checkpoints=8),
+        )
+        assert iters <= 6000
+        assert np.isfinite(best)
+        assert best < 3.5  # actually learned something
+        assert s.iteration == iters
+
+    def test_hard_budget_respected(self, planted, config):
+        graph, _ = planted
+        split = split_heldout(graph, 0.03, np.random.default_rng(5))
+        s = AMMSBSampler(split.train, config, heldout=split)
+        # An impossible tolerance: the monitor never fires; the budget caps.
+        monitor = ConvergenceMonitor(window=3, rel_tol=-1.0, min_checkpoints=2)
+        _, iters = s.run_until_converged(
+            max_iterations=300, checkpoint_every=100, monitor=monitor
+        )
+        assert iters == 300

@@ -1,0 +1,153 @@
+"""Cost-model tests: Table III calibration and scaling shapes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.costmodel import CostModel, SingleNodeModel, WorkloadShape
+from repro.cluster.spec import DAS5_NODE, HPC_CLOUD_NODE, das5
+from repro.graph.datasets import DATASETS
+
+
+def friendster_shape(k=12288, heldout=True):
+    fr = DATASETS["com-Friendster"]
+    return WorkloadShape(
+        n_vertices=fr.n_vertices,
+        n_edges=fr.n_edges,
+        n_communities=k,
+        mini_batch_vertices=16384,
+        neighbor_sample_size=32,
+        heldout_pairs=int(0.02 * fr.n_edges) if heldout else 0,
+        perplexity_interval=144,
+    )
+
+
+class TestTableIIICalibration:
+    """The model must land within ~15% of every Table III entry."""
+
+    @pytest.fixture(scope="class")
+    def times(self):
+        cm = CostModel(das5(64))
+        shape = friendster_shape()
+        return cm.iteration(shape, pipelined=False), cm.iteration(shape, pipelined=True)
+
+    @pytest.mark.parametrize(
+        "field,paper_ms",
+        [
+            ("draw_deploy", 45.6),
+            ("load_pi", 205.0),
+            ("update_phi_compute", 74.0),
+            ("update_phi", 285.0),
+            ("update_pi", 3.8),
+            ("update_beta_theta", 25.9),
+            ("total", 450.0),
+        ],
+    )
+    def test_non_pipelined_stages(self, times, field, paper_ms):
+        got_ms = times[0].as_dict()[field] * 1e3
+        assert got_ms == pytest.approx(paper_ms, rel=0.20), field
+
+    def test_pipelined_total(self, times):
+        assert times[1].total * 1e3 == pytest.approx(365.0, rel=0.10)
+
+    def test_pipelined_update_phi(self, times):
+        assert times[1].update_phi * 1e3 == pytest.approx(241.0, rel=0.10)
+
+    def test_pipelined_beta_interference(self, times):
+        assert times[1].update_beta_theta > times[0].update_beta_theta
+
+
+class TestScalingShapes:
+    def test_strong_scaling_monotone(self):
+        shape = friendster_shape(k=1024)
+        totals = [
+            CostModel(das5(c)).iteration(shape, pipelined=True).total
+            for c in (8, 16, 32, 64)
+        ]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_strong_scaling_sublinear_speedup(self):
+        """Speedup 8->64 workers is well below the ideal 8x (paper Fig 1-b:
+        'the speedup curve gradually slows down for larger cluster sizes')."""
+        shape = friendster_shape(k=1024)
+        t8 = CostModel(das5(8)).iteration(shape, pipelined=True).total
+        t64 = CostModel(das5(64)).iteration(shape, pipelined=True).total
+        speedup = t8 / t64
+        assert 2.0 < speedup < 8.0
+
+    def test_weak_scaling_flat(self):
+        """K proportional to C keeps time/iteration within ~25% (Fig 2)."""
+        fr = DATASETS["com-Friendster"]
+        totals = []
+        for c in (8, 16, 32, 64):
+            shape = WorkloadShape(
+                n_vertices=fr.n_vertices,
+                n_edges=fr.n_edges,
+                n_communities=128 * c,
+                heldout_pairs=0,
+            )
+            totals.append(CostModel(das5(c)).iteration(shape, pipelined=True).total)
+        assert max(totals) / min(totals) < 1.25
+
+    def test_pipelining_gain_grows_with_k(self):
+        """Fig 3: the single-vs-double-buffering gap widens with K."""
+        gaps = []
+        for k in (1024, 4096, 12288):
+            cm = CostModel(das5(64))
+            shape = friendster_shape(k=k, heldout=False)
+            gap = cm.iteration(shape, False).total - cm.iteration(shape, True).total
+            gaps.append(gap)
+        assert gaps == sorted(gaps)
+
+    def test_time_grows_with_k(self):
+        cm = CostModel(das5(64))
+        t1 = cm.iteration(friendster_shape(k=1024), True).total
+        t2 = cm.iteration(friendster_shape(k=8192), True).total
+        assert t2 > 3 * t1
+
+
+class TestSingleNodeModel:
+    def test_distributed_beats_single_node_on_friendster(self):
+        """Fig 4-b: 64 DAS5 nodes vastly outperform the 40-core VM, and the
+        gap widens with K."""
+        ratios = []
+        for k in (1024, 2048, 4096):
+            shape = friendster_shape(k=k, heldout=False)
+            t_dist = CostModel(das5(64)).iteration(shape, pipelined=True).total
+            t_single = SingleNodeModel(HPC_CLOUD_NODE, 40).iteration(shape).total
+            ratios.append(t_single / t_dist)
+        assert all(r > 3 for r in ratios)
+        assert ratios == sorted(ratios)
+
+    def test_40_cores_beat_16_cores_on_dblp(self):
+        """Fig 4-a: the VM's 40 cores beat both its own 16-core config and
+        a 16-core DAS5 node."""
+        dblp = DATASETS["com-DBLP"]
+        shape = WorkloadShape(
+            n_vertices=dblp.n_vertices,
+            n_edges=dblp.n_edges,
+            n_communities=4096,
+            heldout_pairs=0,
+        )
+        t40 = SingleNodeModel(HPC_CLOUD_NODE, 40).iteration(shape).total
+        t16_cloud = SingleNodeModel(HPC_CLOUD_NODE, 16).iteration(shape).total
+        t16_das5 = SingleNodeModel(DAS5_NODE, 16).iteration(shape).total
+        assert t40 < t16_cloud
+        assert t40 < t16_das5
+
+
+class TestWorkloadShape:
+    def test_minibatch_edges_close_to_m(self):
+        shape = friendster_shape()
+        assert shape.minibatch_edges == pytest.approx(16384, rel=0.05)
+
+    def test_value_bytes(self):
+        assert friendster_shape(k=100).value_bytes() == 404
+
+    def test_collectives_grow_with_cluster(self):
+        small = CostModel(das5(4)).tree_collective_time(1024)
+        big = CostModel(das5(64)).tree_collective_time(1024)
+        assert big > small
+
+    def test_barrier_positive(self):
+        assert CostModel(das5(8)).barrier_time() > 0

@@ -1,0 +1,151 @@
+"""Convergence diagnostics + posterior alignment tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.diagnostics import (
+    ConvergenceMonitor,
+    autocorrelation,
+    effective_sample_size,
+    geweke_z,
+)
+from repro.core.estimation import PosteriorMean, align_communities
+
+
+class TestAutocorrelation:
+    def test_lag_zero_is_one(self, rng):
+        rho = autocorrelation(rng.standard_normal(200))
+        assert rho[0] == pytest.approx(1.0)
+
+    def test_iid_noise_near_zero(self, rng):
+        rho = autocorrelation(rng.standard_normal(5000), max_lag=5)
+        assert np.abs(rho[1:]).max() < 0.1
+
+    def test_ar1_positive_decay(self, rng):
+        x = np.zeros(5000)
+        for t in range(1, 5000):
+            x[t] = 0.9 * x[t - 1] + rng.standard_normal()
+        rho = autocorrelation(x, max_lag=3)
+        assert rho[1] > 0.8
+        assert rho[1] > rho[2] > rho[3]
+
+    def test_short_trace_raises(self):
+        with pytest.raises(ValueError):
+            autocorrelation(np.array([1.0]))
+
+    def test_constant_trace(self):
+        rho = autocorrelation(np.full(50, 3.0), max_lag=4)
+        assert rho[0] == 1.0 and (rho[1:] == 0).all()
+
+
+class TestESS:
+    def test_iid_ess_near_n(self, rng):
+        x = rng.standard_normal(2000)
+        ess = effective_sample_size(x)
+        assert ess > 0.7 * 2000
+
+    def test_correlated_chain_low_ess(self, rng):
+        x = np.zeros(2000)
+        for t in range(1, 2000):
+            x[t] = 0.95 * x[t - 1] + rng.standard_normal()
+        ess = effective_sample_size(x)
+        assert ess < 0.2 * 2000
+
+    def test_ess_bounded_by_n(self, rng):
+        for _ in range(5):
+            x = rng.standard_normal(100)
+            assert effective_sample_size(x) <= 100
+
+    def test_short_raises(self):
+        with pytest.raises(ValueError):
+            effective_sample_size(np.array([1.0, 2.0]))
+
+
+class TestGeweke:
+    def test_stationary_chain_small_z(self, rng):
+        zs = [abs(geweke_z(rng.standard_normal(1000))) for _ in range(10)]
+        assert np.median(zs) < 2.0
+
+    def test_trending_chain_large_z(self, rng):
+        x = np.linspace(0, 10, 500) + 0.1 * rng.standard_normal(500)
+        assert abs(geweke_z(x)) > 3.0
+
+    def test_short_raises(self):
+        with pytest.raises(ValueError):
+            geweke_z(np.arange(10.0))
+
+
+class TestConvergenceMonitor:
+    def test_flat_trace_converges(self):
+        m = ConvergenceMonitor(window=4, min_checkpoints=8)
+        converged = [m.update(2.0 + 0.001 * (i % 2)) for i in range(16)]
+        assert converged[-1]
+        assert not converged[5]
+
+    def test_improving_trace_not_converged(self):
+        m = ConvergenceMonitor(window=4, min_checkpoints=8)
+        for i in range(20):
+            flag = m.update(10.0 / (1 + i))
+        assert not flag
+
+    def test_best_tracks_minimum(self):
+        m = ConvergenceMonitor()
+        for v in (5.0, 3.0, 4.0):
+            m.update(v)
+        assert m.best == 3.0
+
+    def test_rejects_nan(self):
+        m = ConvergenceMonitor()
+        with pytest.raises(ValueError):
+            m.update(float("nan"))
+
+
+class TestAlignment:
+    def test_recovers_permutation(self, rng):
+        pi = rng.dirichlet(np.ones(5), size=50)
+        perm = np.array([2, 0, 4, 1, 3])
+        shuffled = pi[:, perm]
+        aligned, cols = align_communities(shuffled, pi)
+        np.testing.assert_allclose(aligned, pi)
+        np.testing.assert_array_equal(perm[cols], np.arange(5))
+
+    def test_identity_when_already_aligned(self, rng):
+        pi = rng.dirichlet(np.ones(4), size=30)
+        aligned, cols = align_communities(pi, pi)
+        np.testing.assert_array_equal(cols, np.arange(4))
+
+    def test_shape_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            align_communities(np.ones((3, 2)), np.ones((3, 3)))
+
+    @given(seed=st.integers(min_value=0, max_value=500))
+    @settings(max_examples=25, deadline=None)
+    def test_alignment_never_hurts_overlap(self, seed):
+        rng = np.random.default_rng(seed)
+        ref = rng.dirichlet(np.ones(4), size=20)
+        pi = rng.dirichlet(np.ones(4), size=20)
+        aligned, _ = align_communities(pi, ref)
+        assert (ref * aligned).sum() >= (ref * pi).sum() - 1e-12
+
+    def test_posterior_mean_is_label_switch_proof(self, rng):
+        """Averaging a sample and its column-permuted copy must give the
+        sample back (up to labels), not a smeared mixture."""
+        pi = np.zeros((40, 4))
+        pi[np.arange(40), np.arange(40) % 4] = 1.0  # crisp memberships
+        beta = np.array([0.1, 0.2, 0.3, 0.4])
+        perm = np.array([3, 2, 1, 0])
+
+        smeared = PosteriorMean(40, 4, align=False)
+        smeared.record(pi, beta)
+        smeared.record(pi[:, perm], beta[perm])
+        assert smeared.pi.max() < 1.0  # labels smeared
+
+        aligned = PosteriorMean(40, 4, align=True)
+        aligned.record(pi, beta)
+        aligned.record(pi[:, perm], beta[perm])
+        np.testing.assert_allclose(aligned.pi, pi)
+        np.testing.assert_allclose(aligned.beta, beta)

@@ -1,0 +1,128 @@
+"""E11: sequential vs threaded vs distributed numerical equivalence.
+
+All three engines share the kernels in repro.core.gradients; fed identical
+mini-batches, neighbor samples, and noise, they must produce identical
+states (up to float-addition reordering in the theta reduce, hence the
+tight-but-not-exact tolerance on theta for the multi-worker cases).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.spec import das5
+from repro.config import AMMSBConfig, StepSizeConfig
+from repro.core.minibatch import MinibatchSampler, NeighborSample
+from repro.core.sampler import AMMSBSampler
+from repro.core.state import init_state
+from repro.dist.sampler import DistributedAMMSBSampler
+from repro.graph.split import split_heldout
+from repro.parallel.sampler import ThreadedAMMSBSampler
+
+
+@pytest.fixture(scope="module")
+def problem():
+    from repro.graph.generators import planted_overlapping_graph
+
+    rng = np.random.default_rng(7)
+    graph, _ = planted_overlapping_graph(
+        180, 4, memberships_per_vertex=1, p_in=0.25, p_out=0.005, rng=rng
+    )
+    split = split_heldout(graph, 0.03, np.random.default_rng(2))
+    cfg = AMMSBConfig(
+        n_communities=4,
+        mini_batch_vertices=40,
+        neighbor_sample_size=12,
+        seed=5,
+        step_phi=StepSizeConfig(a=0.05),
+        step_theta=StepSizeConfig(a=0.05),
+    )
+    return split, cfg
+
+
+def replay_inputs(split, cfg, n_iters, seed=99):
+    """Pre-draw a fixed stream of (minibatch, neighbors, noises)."""
+    ms = MinibatchSampler(split.train, cfg)
+    r = np.random.default_rng(seed)
+    stream = []
+    for _ in range(n_iters):
+        mb = ms.sample(r)
+        ns = ms.sample_neighbors(mb.vertices, r)
+        noise = r.standard_normal((mb.vertices.size, cfg.n_communities))
+        tnoise = r.standard_normal((cfg.n_communities, 2))
+        stream.append((mb, ns, noise, tnoise))
+    return stream
+
+
+class TestSequentialVsDistributed:
+    @pytest.mark.parametrize("n_workers", [1, 3, 4])
+    def test_identical_states_after_replay(self, problem, n_workers):
+        split, cfg = problem
+        st0 = init_state(split.train.n_vertices, cfg, np.random.default_rng(1))
+        seq = AMMSBSampler(split.train, cfg, state=st0.copy())
+        dist = DistributedAMMSBSampler(
+            split.train, cfg, cluster=das5(n_workers), pipelined=False, state=st0.copy()
+        )
+        for mb, ns, noise, tnoise in replay_inputs(split, cfg, 6):
+            seq.update_phi_pi(mb, ns, noise=noise)
+            seq.update_beta_theta(mb, noise=tnoise)
+            seq.iteration += 1
+            parts = [
+                NeighborSample(
+                    ns.neighbors[w::n_workers], ns.labels[w::n_workers], ns.mask[w::n_workers]
+                )
+                for w in range(n_workers)
+            ]
+            dist.step(minibatch=mb, neighbor_samples=parts, phi_noise=noise, theta_noise=tnoise)
+        snap = dist.state_snapshot()
+        np.testing.assert_allclose(snap.pi, seq.state.pi, rtol=1e-9, atol=1e-12)
+        np.testing.assert_allclose(snap.theta, seq.state.theta, rtol=1e-9)
+
+    def test_pipelined_replay_also_matches(self, problem):
+        """Pipelining changes the clock, never the numbers."""
+        split, cfg = problem
+        st0 = init_state(split.train.n_vertices, cfg, np.random.default_rng(1))
+        seq = AMMSBSampler(split.train, cfg, state=st0.copy())
+        dist = DistributedAMMSBSampler(
+            split.train, cfg, cluster=das5(2), pipelined=True, state=st0.copy()
+        )
+        for mb, ns, noise, tnoise in replay_inputs(split, cfg, 4):
+            seq.update_phi_pi(mb, ns, noise=noise)
+            seq.update_beta_theta(mb, noise=tnoise)
+            seq.iteration += 1
+            parts = [
+                NeighborSample(ns.neighbors[w::2], ns.labels[w::2], ns.mask[w::2])
+                for w in range(2)
+            ]
+            dist.step(minibatch=mb, neighbor_samples=parts, phi_noise=noise, theta_noise=tnoise)
+        np.testing.assert_allclose(dist.state_snapshot().pi, seq.state.pi, rtol=1e-9)
+
+
+class TestSequentialVsThreaded:
+    @pytest.mark.parametrize("n_threads", [1, 2, 4])
+    def test_identical_given_same_seed(self, problem, n_threads):
+        """The threaded engine pre-draws noise exactly like the sequential
+        one, so whole runs match bit-for-bit from the same seed (modulo
+        chunk-sum reordering in theta, covered by the tolerance)."""
+        split, cfg = problem
+        seq = AMMSBSampler(split.train, cfg)
+        thr = ThreadedAMMSBSampler(split.train, cfg, n_threads=n_threads)
+        seq.run(8)
+        thr.run(8)
+        np.testing.assert_allclose(thr.state.pi, seq.state.pi, rtol=1e-9, atol=1e-12)
+        np.testing.assert_allclose(thr.state.theta, seq.state.theta, rtol=1e-9)
+
+
+class TestStatisticalAgreement:
+    def test_free_running_engines_reach_similar_perplexity(self, problem):
+        """Without replay, the engines use different RNG streams; their
+        converged perplexities must agree statistically."""
+        split, cfg = problem
+        seq = AMMSBSampler(split.train, cfg, heldout=split)
+        seq.run(1500, perplexity_every=100)
+        dist = DistributedAMMSBSampler(split.train, cfg, cluster=das5(3), heldout=split)
+        dist.run(1500, perplexity_every=100)
+        a = seq.perplexity_estimator.value()
+        b = dist.last_perplexity()
+        assert abs(a - b) / a < 0.2

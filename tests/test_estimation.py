@@ -1,0 +1,64 @@
+"""Posterior summarization tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.estimation import PosteriorMean, extract_communities, membership_entropy
+
+
+class TestPosteriorMean:
+    def test_running_mean(self, rng):
+        pm = PosteriorMean(10, 3, align=False)  # raw mean semantics
+        samples = [rng.dirichlet(np.ones(3), size=10) for _ in range(4)]
+        betas = [rng.uniform(0, 1, 3) for _ in range(4)]
+        for pi, b in zip(samples, betas):
+            pm.record(pi, b)
+        np.testing.assert_allclose(pm.pi, np.mean(samples, axis=0))
+        np.testing.assert_allclose(pm.beta, np.mean(betas, axis=0))
+        assert pm.n_samples == 4
+
+    def test_empty_raises(self):
+        pm = PosteriorMean(5, 2)
+        with pytest.raises(ValueError):
+            _ = pm.pi
+        with pytest.raises(ValueError):
+            _ = pm.beta
+
+    def test_shape_mismatch_rejected(self, rng):
+        pm = PosteriorMean(5, 2)
+        with pytest.raises(ValueError):
+            pm.record(rng.dirichlet(np.ones(3), size=5), rng.uniform(0, 1, 3))
+
+
+class TestExtractCommunities:
+    def test_sorted_by_size_and_truncated(self):
+        pi = np.zeros((10, 3))
+        pi[:6, 0] = 1.0
+        pi[6:9, 1] = 1.0
+        pi[9:, 2] = 1.0
+        covers = extract_communities(pi, threshold=0.5, min_size=1)
+        sizes = [c.size for c in covers]
+        assert sizes == sorted(sizes, reverse=True)
+        top2 = extract_communities(pi, threshold=0.5, min_size=1, max_communities=2)
+        assert len(top2) == 2
+
+    def test_min_size_drops_singletons(self):
+        pi = np.eye(4)
+        assert extract_communities(pi, min_size=2) == []
+
+
+class TestMembershipEntropy:
+    def test_crisp_membership_zero_entropy(self):
+        pi = np.eye(4)
+        np.testing.assert_allclose(membership_entropy(pi), 0.0, atol=1e-9)
+
+    def test_uniform_maximal(self):
+        pi = np.full((3, 4), 0.25)
+        np.testing.assert_allclose(membership_entropy(pi), np.log(4))
+
+    def test_bridge_vertices_score_higher(self):
+        crisp = np.array([[1.0, 0.0]])
+        bridge = np.array([[0.5, 0.5]])
+        assert membership_entropy(bridge)[0] > membership_entropy(crisp)[0]

@@ -1,0 +1,92 @@
+"""Generative-model graph generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import (
+    generate_ammsb_graph,
+    planted_overlapping_graph,
+    sample_mixed_membership,
+)
+
+
+class TestMixedMembership:
+    def test_rows_are_simplex(self, rng):
+        pi = sample_mixed_membership(100, 8, alpha=0.1, rng=rng, concentration=2.0)
+        assert pi.shape == (100, 8)
+        assert (pi >= 0).all()
+        np.testing.assert_allclose(pi.sum(axis=1), 1.0)
+
+    def test_concentration_sharpens(self):
+        flat = sample_mixed_membership(500, 8, 0.1, np.random.default_rng(1), concentration=0.0)
+        sharp = sample_mixed_membership(500, 8, 0.1, np.random.default_rng(1), concentration=5.0)
+        assert sharp.max(axis=1).mean() > flat.max(axis=1).mean()
+
+
+class TestAMMSBGenerator:
+    def test_basic_shapes(self, rng):
+        g, t = generate_ammsb_graph(200, 5, rng=rng)
+        assert g.n_vertices == 200
+        assert t.pi.shape == (200, 5)
+        assert t.beta.shape == (5,)
+        assert len(t.covers) == 5
+        assert ((t.beta > 0) & (t.beta < 1)).all()
+
+    def test_target_edges_hit_approximately(self, rng):
+        target = 3000
+        g, _ = generate_ammsb_graph(500, 8, rng=rng, target_edges=target)
+        assert 0.6 * target < g.n_edges < 1.4 * target
+
+    def test_deterministic_given_rng(self):
+        g1, t1 = generate_ammsb_graph(150, 4, rng=np.random.default_rng(5))
+        g2, t2 = generate_ammsb_graph(150, 4, rng=np.random.default_rng(5))
+        np.testing.assert_array_equal(g1.edges, g2.edges)
+        np.testing.assert_array_equal(t1.pi, t2.pi)
+
+    def test_assortative_structure(self, rng):
+        """Linked pairs overlap in membership far more than random pairs."""
+        g, t = generate_ammsb_graph(400, 6, rng=rng, target_edges=3000, delta=1e-8)
+        link_overlap = (t.pi[g.edges[:, 0]] * t.pi[g.edges[:, 1]]).sum(axis=1).mean()
+        rnd = rng.integers(0, 400, size=(3000, 2))
+        rnd = rnd[rnd[:, 0] != rnd[:, 1]]
+        rand_overlap = (t.pi[rnd[:, 0]] * t.pi[rnd[:, 1]]).sum(axis=1).mean()
+        assert link_overlap > 3 * rand_overlap
+
+    def test_invalid_args(self, rng):
+        with pytest.raises(ValueError):
+            generate_ammsb_graph(1, 4, rng=rng)
+        with pytest.raises(ValueError):
+            generate_ammsb_graph(10, 0, rng=rng)
+
+    def test_covers_nonempty(self, rng):
+        _, t = generate_ammsb_graph(100, 10, rng=rng)
+        assert all(c.size >= 1 for c in t.covers)
+
+
+class TestPlantedGenerator:
+    def test_membership_count(self, rng):
+        _, t = planted_overlapping_graph(120, 6, memberships_per_vertex=2, rng=rng)
+        memberships = (t.pi > 0).sum(axis=1)
+        assert (memberships == 2).all()
+
+    def test_within_community_density_higher(self, rng):
+        g, t = planted_overlapping_graph(
+            200, 4, memberships_per_vertex=1, p_in=0.3, p_out=0.002, rng=rng
+        )
+        home = t.pi.argmax(axis=1)
+        same = home[g.edges[:, 0]] == home[g.edges[:, 1]]
+        # With p_in >> p_out nearly all edges are within-community.
+        assert same.mean() > 0.8
+
+    def test_invalid_membership_count(self, rng):
+        with pytest.raises(ValueError):
+            planted_overlapping_graph(50, 3, memberships_per_vertex=4, rng=rng)
+        with pytest.raises(ValueError):
+            planted_overlapping_graph(50, 3, memberships_per_vertex=0, rng=rng)
+
+    def test_covers_partition_with_overlap(self, rng):
+        _, t = planted_overlapping_graph(90, 3, memberships_per_vertex=2, rng=rng)
+        sizes = sum(c.size for c in t.covers)
+        assert sizes == 2 * 90  # every vertex appears in exactly 2 covers

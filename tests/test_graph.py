@@ -1,0 +1,180 @@
+"""Graph data-structure tests, including hypothesis round-trips."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.graph import Graph, edge_key, edge_keys
+
+
+def random_edge_set(n, m, seed):
+    rng = np.random.default_rng(seed)
+    seen = set()
+    edges = []
+    while len(edges) < m:
+        a, b = rng.integers(0, n, size=2)
+        if a == b:
+            continue
+        k = edge_key(int(a), int(b), n)
+        if k in seen:
+            continue
+        seen.add(k)
+        edges.append((min(a, b), max(a, b)))
+    return np.array(edges, dtype=np.int64)
+
+
+class TestConstruction:
+    def test_rejects_self_loops(self):
+        with pytest.raises(ValueError):
+            Graph(3, np.array([[1, 1]]))
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            Graph(3, np.array([[0, 1], [1, 0]]))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            Graph(3, np.array([[0, 3]]))
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            Graph(3, np.array([[0, 1, 2]]))
+
+    def test_empty_graph(self):
+        g = Graph(5, np.zeros((0, 2), dtype=np.int64))
+        assert g.n_edges == 0
+        assert g.degree(0) == 0
+        assert not g.has_edge(0, 1)
+
+    def test_canonicalizes_direction(self):
+        g = Graph(4, np.array([[3, 1]]))
+        assert g.has_edge(1, 3) and g.has_edge(3, 1)
+        np.testing.assert_array_equal(g.edges, [[1, 3]])
+
+
+class TestQueries:
+    def test_tiny_graph_structure(self, tiny_graph):
+        g = tiny_graph
+        assert g.n_edges == 7
+        assert g.degree(2) == 3
+        np.testing.assert_array_equal(g.neighbors(2), [0, 1, 3])
+        assert g.has_edge(2, 3)
+        assert not g.has_edge(0, 5)
+
+    def test_has_edges_vectorized(self, tiny_graph):
+        pairs = np.array([[0, 1], [1, 0], [0, 5], [2, 2], [3, 4]])
+        got = tiny_graph.has_edges(pairs)
+        np.testing.assert_array_equal(got, [True, True, False, False, True])
+
+    def test_degrees_sum_to_twice_edges(self, tiny_graph):
+        assert tiny_graph.degrees.sum() == 2 * tiny_graph.n_edges
+
+    def test_adjacency_slice_matches_neighbors(self, tiny_graph):
+        vs = np.array([2, 5, 0])
+        indptr, indices = tiny_graph.adjacency_slice(vs)
+        for i, v in enumerate(vs):
+            np.testing.assert_array_equal(
+                indices[indptr[i] : indptr[i + 1]], tiny_graph.neighbors(int(v))
+            )
+
+    def test_density(self):
+        g = Graph(4, np.array([[0, 1], [2, 3]]))
+        assert g.density == pytest.approx(2 / 6)
+
+
+class TestEdgeKeys:
+    def test_scalar_symmetric(self):
+        assert edge_key(2, 7, 10) == edge_key(7, 2, 10)
+
+    def test_scalar_self_loop_raises(self):
+        with pytest.raises(ValueError):
+            edge_key(3, 3, 10)
+
+    def test_vectorized_matches_scalar(self):
+        pairs = np.array([[1, 2], [5, 0], [3, 9]])
+        keys = edge_keys(pairs, 10)
+        expected = [edge_key(a, b, 10) for a, b in pairs]
+        np.testing.assert_array_equal(keys, expected)
+
+    @given(
+        n=st.integers(min_value=2, max_value=1000),
+        data=st.data(),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_keys_injective(self, n, data):
+        a = data.draw(st.integers(min_value=0, max_value=n - 1))
+        b = data.draw(st.integers(min_value=0, max_value=n - 1).filter(lambda x: x != a))
+        c = data.draw(st.integers(min_value=0, max_value=n - 1))
+        d = data.draw(st.integers(min_value=0, max_value=n - 1).filter(lambda x: x != c))
+        same_pair = {a, b} == {c, d}
+        assert (edge_key(a, b, n) == edge_key(c, d, n)) == same_pair
+
+
+class TestSubgraph:
+    def test_remove_edges(self, tiny_graph):
+        k = edge_keys(np.array([[2, 3]]), tiny_graph.n_vertices)
+        g2 = tiny_graph.subgraph(remove_keys=k)
+        assert g2.n_edges == tiny_graph.n_edges - 1
+        assert not g2.has_edge(2, 3)
+        assert g2.has_edge(0, 1)
+
+    def test_remove_nothing(self, tiny_graph):
+        g2 = tiny_graph.subgraph(remove_keys=np.zeros(0, dtype=np.int64))
+        assert g2.n_edges == tiny_graph.n_edges
+
+
+class TestNonlinkSampling:
+    def test_samples_are_nonlinks(self, tiny_graph, rng):
+        pairs = tiny_graph.sample_nonlink_pairs(5, rng)
+        assert pairs.shape == (5, 2)
+        assert not tiny_graph.has_edges(pairs).any()
+        assert (pairs[:, 0] != pairs[:, 1]).all()
+
+    def test_no_duplicates_within_sample(self, rng):
+        g = Graph(30, random_edge_set(30, 40, seed=3))
+        pairs = g.sample_nonlink_pairs(50, rng)
+        keys = edge_keys(pairs, 30)
+        assert np.unique(keys).size == 50
+
+    def test_respects_exclusions(self, tiny_graph, rng):
+        exclude = edge_keys(np.array([[0, 3], [0, 4], [0, 5]]), tiny_graph.n_vertices)
+        exclude = np.sort(exclude)
+        for _ in range(10):
+            pairs = tiny_graph.sample_nonlink_pairs(4, rng, exclude_keys=exclude)
+            keys = edge_keys(pairs, tiny_graph.n_vertices)
+            assert not np.isin(keys, exclude).any()
+
+    def test_dense_graph_raises(self, rng):
+        # complete graph on 4 vertices: no non-links exist
+        edges = np.array([[a, b] for a in range(4) for b in range(a + 1, 4)])
+        g = Graph(4, edges)
+        with pytest.raises(RuntimeError):
+            g.sample_nonlink_pairs(3, rng)
+
+    def test_zero_requested(self, tiny_graph, rng):
+        pairs = tiny_graph.sample_nonlink_pairs(0, rng)
+        assert pairs.shape == (0, 2)
+
+
+@given(
+    n=st.integers(min_value=2, max_value=60),
+    seed=st.integers(min_value=0, max_value=2**31),
+    frac=st.floats(min_value=0.0, max_value=0.5),
+)
+@settings(max_examples=40, deadline=None)
+def test_membership_consistency_property(n, seed, frac):
+    """has_edges agrees with has_edge and with the CSR neighbor lists."""
+    max_edges = n * (n - 1) // 2
+    m = min(int(frac * max_edges), max_edges)
+    edges = random_edge_set(n, m, seed) if m else np.zeros((0, 2), dtype=np.int64)
+    g = Graph(n, edges)
+    rng = np.random.default_rng(seed)
+    pairs = rng.integers(0, n, size=(50, 2))
+    vec = g.has_edges(pairs)
+    for (a, b), got in zip(pairs, vec):
+        assert got == g.has_edge(int(a), int(b))
+        if a != b:
+            assert got == (b in g.neighbors(int(a)))

@@ -1,0 +1,63 @@
+"""Graph IO round-trips."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.graph import Graph
+from repro.graph.io import load_edge_list, load_npz, save_edge_list, save_npz
+
+
+class TestEdgeList:
+    def test_round_trip(self, tiny_graph, tmp_path):
+        path = tmp_path / "g.txt"
+        save_edge_list(tiny_graph, path, header="test graph")
+        g2 = load_edge_list(path, n_vertices=tiny_graph.n_vertices)
+        np.testing.assert_array_equal(g2.edges, tiny_graph.edges)
+
+    def test_snap_format_duplicates_and_comments(self, tmp_path):
+        path = tmp_path / "snap.txt"
+        path.write_text(
+            "# Directed graph, SNAP style\n"
+            "# FromNodeId ToNodeId\n"
+            "0 1\n1 0\n2 0\n0 2\n1 1\n"
+        )
+        g = load_edge_list(path)
+        assert g.n_edges == 2  # (0,1) and (0,2); self-loop dropped
+
+    def test_dense_relabeling(self, tmp_path):
+        path = tmp_path / "sparse_ids.txt"
+        path.write_text("100 200\n200 4000\n")
+        g = load_edge_list(path)
+        assert g.n_vertices == 3
+        assert g.n_edges == 2
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("# nothing\n")
+        with pytest.raises(ValueError):
+            load_edge_list(path)
+
+    def test_header_written(self, tiny_graph, tmp_path):
+        path = tmp_path / "h.txt"
+        save_edge_list(tiny_graph, path, header="hello\nworld")
+        text = path.read_text()
+        assert text.startswith("# hello\n# world\n")
+        assert "Nodes: 6 Edges: 7" in text
+
+
+class TestNpz:
+    def test_round_trip(self, tiny_graph, tmp_path):
+        path = tmp_path / "g.npz"
+        save_npz(tiny_graph, path)
+        g2 = load_npz(path)
+        assert g2.n_vertices == tiny_graph.n_vertices
+        np.testing.assert_array_equal(g2.edges, tiny_graph.edges)
+
+    def test_empty_graph_round_trip(self, tmp_path):
+        g = Graph(4, np.zeros((0, 2), dtype=np.int64))
+        path = tmp_path / "e.npz"
+        save_npz(g, path)
+        g2 = load_npz(path)
+        assert g2.n_edges == 0 and g2.n_vertices == 4

@@ -1,0 +1,128 @@
+"""Overlapping-community metric tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.metrics import (
+    best_match_f1,
+    conductance,
+    covers_from_pi,
+    overlapping_nmi,
+)
+
+
+def cover(*lists):
+    return [np.array(c, dtype=np.int64) for c in lists]
+
+
+class TestF1:
+    def test_identical_is_one(self):
+        c = cover([0, 1, 2], [3, 4])
+        assert best_match_f1(c, c) == pytest.approx(1.0)
+
+    def test_disjoint_is_zero(self):
+        assert best_match_f1(cover([0, 1]), cover([2, 3])) == 0.0
+
+    def test_empty_cover(self):
+        assert best_match_f1([], cover([0])) == 0.0
+
+    def test_partial_overlap_between_zero_and_one(self):
+        score = best_match_f1(cover([0, 1, 2, 3]), cover([2, 3, 4, 5]))
+        assert 0.0 < score < 1.0
+
+    def test_symmetric(self):
+        a = cover([0, 1, 2], [4, 5])
+        b = cover([0, 1], [2, 4, 5], [6])
+        assert best_match_f1(a, b) == pytest.approx(best_match_f1(b, a))
+
+    def test_extra_noise_community_lowers_score(self):
+        truth = cover([0, 1, 2], [3, 4, 5])
+        clean = cover([0, 1, 2], [3, 4, 5])
+        noisy = clean + cover([6, 7, 8])
+        assert best_match_f1(noisy, truth) < best_match_f1(clean, truth)
+
+
+class TestNMI:
+    def test_identical_is_one(self):
+        c = cover([0, 1, 2, 3], [4, 5, 6], [7, 8, 9])
+        assert overlapping_nmi(c, c, 10) == pytest.approx(1.0)
+
+    def test_independent_is_near_zero(self):
+        rng = np.random.default_rng(0)
+        n = 200
+        a = [np.flatnonzero(rng.random(n) < 0.3) for _ in range(4)]
+        b = [np.flatnonzero(rng.random(n) < 0.3) for _ in range(4)]
+        assert overlapping_nmi(a, b, n) < 0.15
+
+    def test_symmetric(self):
+        a = cover([0, 1, 2, 3, 4], [5, 6, 7])
+        b = cover([0, 1, 2], [3, 4, 5, 6, 7], [8, 9])
+        assert overlapping_nmi(a, b, 12) == pytest.approx(overlapping_nmi(b, a, 12))
+
+    def test_refinement_scores_high(self):
+        """Splitting one community in two keeps most information."""
+        truth = cover(list(range(0, 20)), list(range(20, 40)))
+        split = cover(list(range(0, 10)), list(range(10, 20)), list(range(20, 40)))
+        merged = cover(list(range(0, 40)))
+        assert overlapping_nmi(split, truth, 40) > overlapping_nmi(merged, truth, 40)
+
+    def test_empty_cover_zero(self):
+        assert overlapping_nmi([], cover([0, 1]), 5) == 0.0
+
+    def test_bounded(self):
+        rng = np.random.default_rng(3)
+        for _ in range(5):
+            n = 50
+            a = [np.flatnonzero(rng.random(n) < 0.4) for _ in range(3)]
+            b = [np.flatnonzero(rng.random(n) < 0.4) for _ in range(3)]
+            a = [c for c in a if c.size]
+            b = [c for c in b if c.size]
+            v = overlapping_nmi(a, b, n)
+            assert 0.0 <= v <= 1.0 + 1e-12
+
+
+class TestCoversFromPi:
+    def test_threshold_and_argmax(self):
+        pi = np.array([[0.9, 0.1], [0.5, 0.5], [0.05, 0.95]])
+        covers = covers_from_pi(pi, threshold=0.4)
+        assert len(covers) == 2
+        np.testing.assert_array_equal(covers[0], [0, 1])
+        np.testing.assert_array_equal(covers[1], [1, 2])
+
+    def test_every_vertex_covered(self, rng):
+        pi = rng.dirichlet(np.ones(5), size=50)
+        covers = covers_from_pi(pi, threshold=0.9)  # harsh threshold
+        covered = np.unique(np.concatenate(covers))
+        np.testing.assert_array_equal(covered, np.arange(50))
+
+    def test_min_size_filter(self):
+        pi = np.eye(4)
+        covers = covers_from_pi(pi, threshold=0.5, min_size=2)
+        assert covers == []
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            covers_from_pi(np.ones(5))
+
+
+class TestConductance:
+    def test_isolated_clique_is_zero(self, tiny_graph):
+        # {0,1,2} triangle has one cut edge (2-3): conductance 1/min(7,7)
+        phi = conductance(tiny_graph, np.array([0, 1, 2]))
+        assert phi == pytest.approx(1 / 7)
+
+    def test_full_set_is_one(self, tiny_graph):
+        assert conductance(tiny_graph, np.arange(6)) == 1.0
+
+    def test_empty_set_is_one(self, tiny_graph):
+        assert conductance(tiny_graph, np.array([], dtype=np.int64)) == 1.0
+
+    def test_random_subset_worse_than_community(self, planted):
+        graph, truth = planted
+        k = int(np.argmax([c.size for c in truth.covers]))
+        community = truth.covers[k]
+        rng = np.random.default_rng(0)
+        random_set = rng.choice(graph.n_vertices, size=community.size, replace=False)
+        assert conductance(graph, community) < conductance(graph, random_set)

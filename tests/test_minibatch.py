@@ -1,0 +1,175 @@
+"""Mini-batch strategy tests, including estimator unbiasedness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import AMMSBConfig
+from repro.core.minibatch import MinibatchSampler, Stratum
+from repro.graph.graph import edge_keys
+from repro.graph.split import split_heldout
+
+
+class TestStratum:
+    def test_validation(self):
+        pairs = np.array([[0, 1]])
+        labels = np.array([True])
+        with pytest.raises(ValueError):
+            Stratum(pairs=pairs, labels=np.array([True, False]), scale=1.0)
+        with pytest.raises(ValueError):
+            Stratum(pairs=pairs, labels=labels, scale=0.0)
+        with pytest.raises(ValueError):
+            Stratum(pairs=np.array([0, 1]), labels=labels, scale=1.0)
+
+
+class TestStratifiedSampling:
+    def test_labels_match_graph(self, planted, config, rng):
+        graph, _ = planted
+        ms = MinibatchSampler(graph, config)
+        for _ in range(10):
+            mb = ms.sample(rng)
+            for s in mb.strata:
+                np.testing.assert_array_equal(graph.has_edges(s.pairs), s.labels)
+
+    def test_vertices_are_union_of_strata(self, planted, config, rng):
+        graph, _ = planted
+        ms = MinibatchSampler(graph, config)
+        mb = ms.sample(rng)
+        expect = np.unique(np.concatenate([s.pairs.reshape(-1) for s in mb.strata]))
+        np.testing.assert_array_equal(mb.vertices, expect)
+
+    def test_strata_are_pure(self, planted, config, rng):
+        """Each stratum is all-links or all-nonlinks."""
+        graph, _ = planted
+        ms = MinibatchSampler(graph, config)
+        for _ in range(5):
+            mb = ms.sample(rng)
+            for s in mb.strata:
+                assert s.labels.all() or not s.labels.any()
+
+    def test_heldout_pairs_never_sampled(self, planted, config):
+        graph, _ = planted
+        split = split_heldout(graph, 0.05, np.random.default_rng(1))
+        hk = np.sort(edge_keys(split.heldout_pairs, graph.n_vertices))
+        ms = MinibatchSampler(split.train, config, heldout_keys=hk)
+        rng = np.random.default_rng(2)
+        for _ in range(20):
+            mb = ms.sample(rng)
+            pairs, _, _ = mb.all_pairs()
+            keys = edge_keys(pairs, graph.n_vertices)
+            assert not np.isin(keys, hk).any()
+
+    def test_unbiased_link_and_nonlink_sums(self, tiny_graph):
+        """The h-scaled stratified estimator recovers, in expectation, the
+        sum of an arbitrary symmetric pair function over links and over
+        non-links separately (derivation in the module docstring)."""
+        g = tiny_graph
+        n = g.n_vertices
+        vals = np.arange(n)[:, None] * 0.7 + np.arange(n)[None, :] * 0.7 + 1.0
+        cfg = AMMSBConfig(n_communities=2, mini_batch_vertices=4)
+        ms = MinibatchSampler(g, cfg)
+        rng = np.random.default_rng(0)
+        for want_links in (True, False):
+            target = 0.0
+            for a in range(n):
+                for b in range(a + 1, n):
+                    if g.has_edge(a, b) == want_links:
+                        target += vals[a, b]
+            est, T = 0.0, 30_000
+            for _ in range(T):
+                mb = ms.sample(rng)
+                for s in mb.strata:
+                    sel = s.labels == want_links
+                    est += s.scale * vals[s.pairs[sel, 0], s.pairs[sel, 1]].sum()
+            assert est / T == pytest.approx(target, rel=0.05)
+
+    def test_all_pairs_concatenation(self, planted, config, rng):
+        graph, _ = planted
+        ms = MinibatchSampler(graph, config)
+        mb = ms.sample(rng)
+        pairs, labels, scales = mb.all_pairs()
+        assert len(pairs) == mb.n_edges == len(labels) == len(scales)
+        assert (scales > 0).all()
+
+
+class TestRandomPairSampling:
+    def test_single_stratum_with_global_scale(self, planted, rng):
+        graph, _ = planted
+        cfg = AMMSBConfig(n_communities=4, mini_batch_vertices=40, strategy="random-pair")
+        ms = MinibatchSampler(graph, cfg)
+        mb = ms.sample(rng)
+        assert len(mb.strata) == 1
+        s = mb.strata[0]
+        n = graph.n_vertices
+        assert s.scale == pytest.approx(n * (n - 1) / 2.0 / len(s.pairs))
+
+    def test_unbiased_total_sum(self, tiny_graph):
+        g = tiny_graph
+        n = g.n_vertices
+        vals = np.abs(np.sin(np.arange(n)[:, None] + 2.0 * np.arange(n)[None, :])) + 0.5
+        vals = (vals + vals.T) / 2
+        target = sum(vals[a, b] for a in range(n) for b in range(a + 1, n))
+        cfg = AMMSBConfig(n_communities=2, mini_batch_vertices=6, strategy="random-pair")
+        ms = MinibatchSampler(g, cfg)
+        rng = np.random.default_rng(1)
+        est, T = 0.0, 20_000
+        for _ in range(T):
+            mb = ms.sample(rng)
+            s = mb.strata[0]
+            est += s.scale * vals[s.pairs[:, 0], s.pairs[:, 1]].sum()
+        assert est / T == pytest.approx(target, rel=0.05)
+
+
+class TestNeighborSampling:
+    def test_shapes_and_mask(self, planted, config, rng):
+        graph, _ = planted
+        ms = MinibatchSampler(graph, config)
+        vs = np.array([0, 5, 9])
+        ns = ms.sample_neighbors(vs, rng)
+        n = config.neighbor_sample_size
+        assert ns.neighbors.shape == (3, n)
+        assert ns.labels.shape == (3, n)
+        assert ns.mask.shape == (3, n)
+        assert (ns.counts >= 1).all()
+
+    def test_self_pairs_masked(self, planted, config, rng):
+        graph, _ = planted
+        ms = MinibatchSampler(graph, config)
+        vs = np.arange(20)
+        ns = ms.sample_neighbors(vs, rng)
+        self_hits = ns.neighbors == vs[:, None]
+        assert not (self_hits & ns.mask).any()
+
+    def test_labels_subset_of_mask(self, planted, config, rng):
+        graph, _ = planted
+        ms = MinibatchSampler(graph, config)
+        ns = ms.sample_neighbors(np.arange(15), rng)
+        assert not (ns.labels & ~ns.mask).any()
+
+    def test_labels_match_graph_where_masked_in(self, planted, config, rng):
+        graph, _ = planted
+        ms = MinibatchSampler(graph, config)
+        vs = np.arange(10)
+        ns = ms.sample_neighbors(vs, rng)
+        for i, v in enumerate(vs):
+            for j in range(ns.neighbors.shape[1]):
+                if ns.mask[i, j]:
+                    assert ns.labels[i, j] == graph.has_edge(int(v), int(ns.neighbors[i, j]))
+
+    def test_heldout_masked_out(self, planted, config):
+        graph, _ = planted
+        split = split_heldout(graph, 0.05, np.random.default_rng(1))
+        hk = np.sort(edge_keys(split.heldout_pairs, graph.n_vertices))
+        ms = MinibatchSampler(split.train, config, heldout_keys=hk)
+        rng = np.random.default_rng(4)
+        vs = np.unique(split.heldout_pairs[:, 0])[:20]
+        for _ in range(10):
+            ns = ms.sample_neighbors(vs, rng)
+            flat = np.column_stack(
+                [np.repeat(vs, ns.neighbors.shape[1]), ns.neighbors.reshape(-1)]
+            )
+            ok = flat[:, 0] != flat[:, 1]
+            keys = edge_keys(flat[ok], graph.n_vertices)
+            held = np.isin(keys, hk)
+            assert not (held & ns.mask.reshape(-1)[ok]).any()

@@ -1,0 +1,92 @@
+"""Thread-pool helpers and threaded sampler mechanics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parallel.threadpool import chunk_ranges, chunked_thread_map
+
+
+class TestChunkRanges:
+    @given(n=st.integers(min_value=0, max_value=500), k=st.integers(min_value=1, max_value=40))
+    @settings(max_examples=60, deadline=None)
+    def test_cover_range_without_overlap(self, n, k):
+        ranges = chunk_ranges(n, k)
+        flat = [i for a, b in ranges for i in range(a, b)]
+        assert flat == list(range(n))
+        assert all(a < b for a, b in ranges)
+
+    def test_balanced(self):
+        ranges = chunk_ranges(100, 7)
+        sizes = [b - a for a, b in ranges]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            chunk_ranges(-1, 2)
+        with pytest.raises(ValueError):
+            chunk_ranges(5, 0)
+
+
+class TestChunkedThreadMap:
+    def test_results_in_chunk_order(self):
+        out = chunked_thread_map(lambda a, b: (a, b), 100, n_threads=4)
+        flat = [i for a, b in out for i in range(a, b)]
+        assert flat == list(range(100))
+
+    def test_single_thread_bypasses_pool(self):
+        import threading
+
+        main = threading.get_ident()
+        tids = []
+
+        def work(a, b):
+            tids.append(threading.get_ident())
+            return b - a
+
+        chunked_thread_map(work, 50, n_threads=1)
+        assert set(tids) == {main}
+
+    def test_threads_compute_correct_sum(self):
+        data = np.arange(1000, dtype=np.float64)
+        parts = chunked_thread_map(lambda a, b: data[a:b].sum(), 1000, n_threads=8)
+        assert sum(parts) == pytest.approx(data.sum())
+
+    def test_disjoint_writes_are_safe(self):
+        out = np.zeros(1000)
+
+        def work(a, b):
+            out[a:b] = np.arange(a, b)
+
+        chunked_thread_map(work, 1000, n_threads=8, chunks_per_thread=4)
+        np.testing.assert_array_equal(out, np.arange(1000))
+
+    def test_exception_propagates(self):
+        def bad(a, b):
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError, match="boom"):
+            chunked_thread_map(bad, 10, n_threads=2)
+
+    def test_empty_input(self):
+        assert chunked_thread_map(lambda a, b: 1, 0, n_threads=4) == []
+
+
+class TestThreadedSampler:
+    def test_invalid_thread_count(self, planted, config):
+        from repro.parallel.sampler import ThreadedAMMSBSampler
+
+        graph, _ = planted
+        with pytest.raises(ValueError):
+            ThreadedAMMSBSampler(graph, config, n_threads=0)
+
+    def test_invariants(self, planted, config):
+        from repro.parallel.sampler import ThreadedAMMSBSampler
+
+        graph, _ = planted
+        s = ThreadedAMMSBSampler(graph, config, n_threads=4)
+        s.run(10)
+        s.state.validate()

@@ -1,0 +1,100 @@
+"""dist.partition tests: shards, adjacency slices, held-out partitions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.minibatch import MinibatchSampler
+from repro.dist.partition import (
+    adjacency_slice,
+    partition_heldout,
+    partition_minibatch,
+)
+
+
+class TestAdjacencySlice:
+    def test_rows_match_graph(self, tiny_graph):
+        vs = np.array([2, 0, 5])
+        sl = adjacency_slice(tiny_graph, vs)
+        for i, v in enumerate(vs):
+            np.testing.assert_array_equal(sl.row(i), tiny_graph.neighbors(int(v)))
+        assert sl.nnz == sum(tiny_graph.degree(int(v)) for v in vs)
+
+    def test_links_against_matches_graph(self, tiny_graph, rng):
+        vs = np.array([0, 2, 4])
+        sl = adjacency_slice(tiny_graph, vs)
+        neighbors = rng.integers(0, 6, size=(3, 8))
+        got = sl.links_against(neighbors)
+        for i, v in enumerate(vs):
+            for j in range(8):
+                assert got[i, j] == tiny_graph.has_edge(int(v), int(neighbors[i, j]))
+
+    def test_links_against_shape_check(self, tiny_graph):
+        sl = adjacency_slice(tiny_graph, np.array([0]))
+        with pytest.raises(ValueError):
+            sl.links_against(np.zeros((2, 3), dtype=np.int64))
+
+    def test_payload_bytes_positive(self, tiny_graph):
+        sl = adjacency_slice(tiny_graph, np.array([0, 1]))
+        assert sl.payload_bytes() > 0
+
+
+class TestPartitionMinibatch:
+    def make_minibatch(self, graph, config, seed=0):
+        ms = MinibatchSampler(graph, config)
+        return ms.sample(np.random.default_rng(seed))
+
+    def test_vertices_partitioned_exactly(self, planted, config):
+        graph, _ = planted
+        mb = self.make_minibatch(graph, config)
+        shards = partition_minibatch(graph, mb, 3)
+        recombined = np.sort(np.concatenate([s.vertices for s in shards]))
+        np.testing.assert_array_equal(recombined, mb.vertices)
+
+    def test_strata_partitioned_exactly(self, planted, config):
+        graph, _ = planted
+        mb = self.make_minibatch(graph, config)
+        shards = partition_minibatch(graph, mb, 3)
+        total = sum(len(s.strata) for s in shards)
+        assert total == len(mb.strata)
+
+    def test_adjacency_matches_shard_vertices(self, planted, config):
+        graph, _ = planted
+        mb = self.make_minibatch(graph, config)
+        for shard in partition_minibatch(graph, mb, 4):
+            np.testing.assert_array_equal(shard.adjacency.vertices, shard.vertices)
+            for i, v in enumerate(shard.vertices):
+                np.testing.assert_array_equal(
+                    shard.adjacency.row(i), graph.neighbors(int(v))
+                )
+
+    def test_single_worker_gets_everything(self, planted, config):
+        graph, _ = planted
+        mb = self.make_minibatch(graph, config)
+        shards = partition_minibatch(graph, mb, 1)
+        np.testing.assert_array_equal(shards[0].vertices, mb.vertices)
+        assert len(shards[0].strata) == len(mb.strata)
+
+    def test_more_workers_than_vertices(self, planted, config):
+        graph, _ = planted
+        mb = self.make_minibatch(graph, config)
+        shards = partition_minibatch(graph, mb, mb.n_vertices + 5)
+        nonempty = [s for s in shards if s.vertices.size]
+        assert len(nonempty) == mb.n_vertices
+
+    def test_invalid_worker_count(self, planted, config):
+        graph, _ = planted
+        mb = self.make_minibatch(graph, config)
+        with pytest.raises(ValueError):
+            partition_minibatch(graph, mb, 0)
+
+
+class TestPartitionHeldout:
+    def test_covers_everything_balanced(self, rng):
+        pairs = rng.integers(0, 50, size=(101, 2))
+        labels = rng.random(101) < 0.5
+        parts = partition_heldout(pairs, labels, 4)
+        assert sum(len(p) for p, _ in parts) == 101
+        sizes = [len(p) for p, _ in parts]
+        assert max(sizes) - min(sizes) <= 1

@@ -1,0 +1,129 @@
+"""Sequential sampler (Algorithm 1) behaviour tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import AMMSBConfig, StepSizeConfig
+from repro.core.sampler import AMMSBSampler
+from repro.graph.split import split_heldout
+
+
+class TestStep:
+    def test_invariants_preserved_across_iterations(self, planted, config):
+        graph, _ = planted
+        s = AMMSBSampler(graph, config)
+        for _ in range(20):
+            s.step()
+            s.state.validate()
+
+    def test_iteration_counter_and_history(self, planted, config):
+        graph, _ = planted
+        s = AMMSBSampler(graph, config)
+        stats = s.run(5)
+        assert s.iteration == 5
+        assert [x.iteration for x in stats] == list(range(5))
+        assert len(s.history) == 5
+
+    def test_step_sizes_decay_in_history(self, planted, config):
+        graph, _ = planted
+        s = AMMSBSampler(graph, config)
+        s.run(50)
+        steps = [x.step_phi for x in s.history]
+        assert steps[0] > steps[-1]
+
+    def test_deterministic_given_seed(self, planted, config):
+        graph, _ = planted
+        s1 = AMMSBSampler(graph, config)
+        s2 = AMMSBSampler(graph, config)
+        s1.run(10)
+        s2.run(10)
+        np.testing.assert_array_equal(s1.state.pi, s2.state.pi)
+        np.testing.assert_array_equal(s1.state.theta, s2.state.theta)
+
+    def test_different_seeds_differ(self, planted, config):
+        graph, _ = planted
+        s1 = AMMSBSampler(graph, config)
+        s2 = AMMSBSampler(graph, config.with_updates(seed=777))
+        s1.run(5)
+        s2.run(5)
+        assert not np.allclose(s1.state.pi, s2.state.pi)
+
+    def test_only_minibatch_rows_change(self, planted, config):
+        graph, _ = planted
+        s = AMMSBSampler(graph, config)
+        before = s.state.pi.copy()
+        mb = s.minibatch_sampler.sample(s.rng)
+        ns = s.minibatch_sampler.sample_neighbors(mb.vertices, s.rng)
+        s.update_phi_pi(mb, ns)
+        changed = np.flatnonzero(np.any(s.state.pi != before, axis=1))
+        assert set(changed) <= set(mb.vertices.tolist())
+
+    def test_callback_invoked(self, planted, config):
+        graph, _ = planted
+        s = AMMSBSampler(graph, config)
+        seen = []
+        s.run(3, callback=lambda st: seen.append(st.iteration))
+        assert seen == [0, 1, 2]
+
+
+class TestPerplexityTracking:
+    def test_perplexity_recorded_at_interval(self, planted, config):
+        graph, _ = planted
+        split = split_heldout(graph, 0.03, np.random.default_rng(5))
+        s = AMMSBSampler(split.train, config, heldout=split)
+        stats = s.run(20, perplexity_every=10)
+        vals = [x.perplexity for x in stats if x.perplexity is not None]
+        assert len(vals) == 2
+        assert s.perplexity_estimator.n_samples == 2
+
+    def test_no_heldout_no_estimator(self, planted, config):
+        graph, _ = planted
+        s = AMMSBSampler(graph, config)
+        assert s.perplexity_estimator is None
+        s.run(3, perplexity_every=1)  # must not crash
+
+
+class TestConvergence:
+    def test_perplexity_improves_on_planted_graph(self, planted):
+        """After a few thousand iterations, averaged perplexity beats both
+        the initial value and the coin-flip bound of 2 x ... loosely."""
+        graph, _ = planted
+        split = split_heldout(graph, 0.03, np.random.default_rng(5))
+        cfg = AMMSBConfig(
+            n_communities=4,
+            mini_batch_vertices=48,
+            neighbor_sample_size=24,
+            seed=11,
+            step_phi=StepSizeConfig(a=0.05),
+            step_theta=StepSizeConfig(a=0.05),
+        )
+        s = AMMSBSampler(split.train, cfg, heldout=split)
+        s.run(60, perplexity_every=30)
+        early = s.perplexity_estimator.value()
+        s.perplexity_estimator.reset()
+        s.run(2500, perplexity_every=50)
+        late = s.perplexity_estimator.value()
+        assert late < early * 0.85
+        assert late < 3.0
+
+    def test_recovers_planted_communities(self, planted):
+        graph, truth = planted
+        split = split_heldout(graph, 0.03, np.random.default_rng(5))
+        cfg = AMMSBConfig(
+            n_communities=4,
+            mini_batch_vertices=48,
+            neighbor_sample_size=24,
+            seed=11,
+            step_phi=StepSizeConfig(a=0.05),
+            step_theta=StepSizeConfig(a=0.05),
+        )
+        s = AMMSBSampler(split.train, cfg, heldout=split)
+        s.run(2500)
+        from repro.graph.metrics import best_match_f1, covers_from_pi
+
+        covers = covers_from_pi(s.state.pi, threshold=0.3)
+        f1 = best_match_f1(covers, truth.covers)
+        # Chance-level best-match F1 for 4 planted communities is ~0.35.
+        assert f1 > 0.6

@@ -1,0 +1,92 @@
+"""Held-out split invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.graph import edge_keys
+from repro.graph.split import split_heldout
+
+
+class TestSplit:
+    def test_balanced_links_nonlinks(self, planted, rng):
+        graph, _ = planted
+        s = split_heldout(graph, 0.05, rng)
+        assert s.n_links == s.n_heldout // 2
+        assert s.heldout_labels.sum() == (~s.heldout_labels).sum()
+
+    def test_heldout_links_removed_from_train(self, planted, rng):
+        graph, _ = planted
+        s = split_heldout(graph, 0.05, rng)
+        link_pairs = s.heldout_pairs[s.heldout_labels]
+        assert not s.train.has_edges(link_pairs).any()
+        assert s.train.n_edges == graph.n_edges - s.n_links
+
+    def test_heldout_labels_match_original_graph(self, planted, rng):
+        graph, _ = planted
+        s = split_heldout(graph, 0.05, rng)
+        np.testing.assert_array_equal(graph.has_edges(s.heldout_pairs), s.heldout_labels)
+
+    def test_nonlink_pairs_never_linked(self, planted, rng):
+        graph, _ = planted
+        s = split_heldout(graph, 0.05, rng)
+        nonlinks = s.heldout_pairs[~s.heldout_labels]
+        assert not graph.has_edges(nonlinks).any()
+
+    def test_no_duplicate_heldout_pairs(self, planted, rng):
+        graph, _ = planted
+        s = split_heldout(graph, 0.05, rng)
+        keys = edge_keys(s.heldout_pairs, graph.n_vertices)
+        assert np.unique(keys).size == s.n_heldout
+
+    def test_max_links_cap(self, planted, rng):
+        graph, _ = planted
+        s = split_heldout(graph, 0.5, rng, max_links=10)
+        assert s.n_links == 10
+
+    def test_invalid_fraction(self, planted, rng):
+        graph, _ = planted
+        for frac in (0.0, 1.0, -0.1, 2.0):
+            with pytest.raises(ValueError):
+                split_heldout(graph, frac, rng)
+
+    def test_deterministic_given_rng(self, planted):
+        graph, _ = planted
+        s1 = split_heldout(graph, 0.05, np.random.default_rng(3))
+        s2 = split_heldout(graph, 0.05, np.random.default_rng(3))
+        np.testing.assert_array_equal(s1.heldout_pairs, s2.heldout_pairs)
+        np.testing.assert_array_equal(s1.heldout_labels, s2.heldout_labels)
+
+
+class TestPartition:
+    def test_partition_covers_everything(self, planted, rng):
+        graph, _ = planted
+        s = split_heldout(graph, 0.05, rng)
+        parts = [s.partition(4, r) for r in range(4)]
+        total = sum(len(p) for p, _ in parts)
+        assert total == s.n_heldout
+        all_keys = np.sort(
+            np.concatenate([edge_keys(p, graph.n_vertices) for p, _ in parts])
+        )
+        np.testing.assert_array_equal(
+            all_keys, np.sort(edge_keys(s.heldout_pairs, graph.n_vertices))
+        )
+
+    def test_partition_roughly_balanced(self, planted, rng):
+        graph, _ = planted
+        s = split_heldout(graph, 0.05, rng)
+        sizes = [len(s.partition(5, r)[0]) for r in range(5)]
+        assert max(sizes) - min(sizes) <= 1
+        # label balance within ~30% of half, thanks to the shuffle
+        for r in range(5):
+            _, labels = s.partition(5, r)
+            if len(labels) >= 10:
+                frac = labels.mean()
+                assert 0.2 < frac < 0.8
+
+    def test_partition_bad_rank(self, planted, rng):
+        graph, _ = planted
+        s = split_heldout(graph, 0.05, rng)
+        with pytest.raises(ValueError):
+            s.partition(4, 4)

@@ -1,0 +1,92 @@
+"""ModelState invariants and KV-layout round-trips."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import AMMSBConfig
+from repro.core.state import ModelState, init_state
+
+
+class TestInit:
+    def test_shapes_and_invariants(self, config):
+        st0 = init_state(50, config)
+        assert st0.pi.shape == (50, 4)
+        assert st0.theta.shape == (4, 2)
+        st0.validate()
+
+    def test_deterministic_from_seed(self, config):
+        a = init_state(30, config, np.random.default_rng(1))
+        b = init_state(30, config, np.random.default_rng(1))
+        np.testing.assert_array_equal(a.pi, b.pi)
+        np.testing.assert_array_equal(a.theta, b.theta)
+
+    def test_beta_in_unit_interval(self, config):
+        st0 = init_state(10, config)
+        assert ((st0.beta > 0) & (st0.beta < 1)).all()
+
+
+class TestPhiRoundTrip:
+    def test_phi_rows_reconstruct(self, config, rng):
+        st0 = init_state(20, config, rng)
+        vs = np.array([3, 7, 11])
+        phi = st0.phi_rows(vs)
+        np.testing.assert_allclose(phi.sum(axis=1), st0.phi_sum[vs])
+        np.testing.assert_allclose(phi / phi.sum(axis=1, keepdims=True), st0.pi[vs])
+
+    def test_set_phi_rows_renormalizes(self, config, rng):
+        st0 = init_state(20, config, rng)
+        vs = np.array([0, 5])
+        new_phi = rng.gamma(2.0, 1.0, size=(2, 4)) + 0.1
+        st0.set_phi_rows(vs, new_phi)
+        np.testing.assert_allclose(st0.phi_sum[vs], new_phi.sum(axis=1))
+        np.testing.assert_allclose(st0.pi[vs].sum(axis=1), 1.0)
+        st0.validate()
+
+    def test_set_phi_rejects_nonpositive(self, config, rng):
+        st0 = init_state(10, config, rng)
+        with pytest.raises(ValueError):
+            st0.set_phi_rows(np.array([0]), np.zeros((1, 4)))
+
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=25, deadline=None)
+    def test_kv_round_trip(self, seed):
+        cfg = AMMSBConfig(n_communities=5)
+        rng = np.random.default_rng(seed)
+        st0 = init_state(15, cfg, rng)
+        vs = rng.choice(15, size=6, replace=False)
+        values = st0.kv_values(vs)
+        assert values.shape == (6, 6)
+        st1 = init_state(15, cfg, np.random.default_rng(seed + 1))
+        st1.set_kv_values(vs, values)
+        np.testing.assert_allclose(st1.pi[vs], st0.pi[vs])
+        np.testing.assert_allclose(st1.phi_sum[vs], st0.phi_sum[vs])
+
+
+class TestValidate:
+    def test_detects_negative_pi(self, config, rng):
+        st0 = init_state(10, config, rng)
+        st0.pi[0, 0] = -0.1
+        with pytest.raises(ValueError):
+            st0.validate()
+
+    def test_detects_broken_simplex(self, config, rng):
+        st0 = init_state(10, config, rng)
+        st0.pi[0] = 0.4
+        with pytest.raises(ValueError):
+            st0.validate()
+
+    def test_detects_nonpositive_theta(self, config, rng):
+        st0 = init_state(10, config, rng)
+        st0.theta[0, 0] = 0.0
+        with pytest.raises(ValueError):
+            st0.validate()
+
+    def test_copy_is_deep(self, config, rng):
+        st0 = init_state(10, config, rng)
+        st1 = st0.copy()
+        st1.pi[0, 0] = 123.0
+        assert st0.pi[0, 0] != 123.0
