@@ -20,6 +20,8 @@ from typing import Any, Callable, Optional, Sequence
 
 import numpy as np
 
+from repro.faults import CommTimeout, FaultPlan
+
 
 @dataclass
 class CommStats:
@@ -67,12 +69,40 @@ class Communicator:
     are offered as one-shot helpers operating on rank-indexed lists.
     """
 
-    def __init__(self, size: int) -> None:
+    def __init__(
+        self,
+        size: int,
+        faults: Optional[FaultPlan] = None,
+        timeout: Optional[float] = None,
+    ) -> None:
+        """``faults`` + ``timeout`` arm collective deadlines: a rank whose
+        injected lag (stall, or forever for a crash) exceeds ``timeout``
+        raises a typed :class:`~repro.faults.CommTimeout` at the next
+        barrier/reduce instead of modeling an indefinite hang. Lags at or
+        under the deadline are returned so the cost model can charge them
+        as straggler time (degradation, not failure)."""
         if size < 1:
             raise ValueError("communicator needs at least one rank")
+        if timeout is not None and timeout <= 0:
+            raise ValueError("timeout must be positive")
         self.size = size
         self.stats = CommStats()
         self.barriers = 0
+        self.faults = None if faults is None or faults.empty else faults
+        self.timeout = timeout
+
+    def check_deadline(self, op: str, iteration: int) -> float:
+        """Worst injected straggler lag at ``iteration`` (seconds).
+
+        Raises :class:`CommTimeout` when the worst lag exceeds the
+        configured deadline — the typed alternative to a hung collective.
+        """
+        if self.faults is None:
+            return 0.0
+        worker, lag = self.faults.max_worker_lag(iteration)
+        if self.timeout is not None and lag > self.timeout:
+            raise CommTimeout(op, worker, lag, self.timeout)
+        return lag if np.isfinite(lag) else 0.0
 
     # -- collectives (functional one-shots) ----------------------------------
 
@@ -108,10 +138,13 @@ class Communicator:
         values: Sequence[Any],
         op: Callable[[Any, Any], Any] = np.add,
         root: int = 0,
+        iteration: Optional[int] = None,
     ) -> Any:
         """Tree reduction of per-rank values to the root."""
         if len(values) != self.size:
             raise ValueError(f"need {self.size} values, got {len(values)}")
+        if iteration is not None:
+            self.check_deadline("reduce", iteration)
         nbytes = sum(_payload_bytes(v) for i, v in enumerate(values) if i != root)
         self.stats.log("reduce", nbytes, messages=self.size - 1)
         acc = values[0]
@@ -128,9 +161,16 @@ class Communicator:
         total = self.reduce(values, op=op)
         return self.bcast(total)
 
-    def barrier(self) -> None:
-        """Synchronization point (counted; charged by the cost model)."""
+    def barrier(self, iteration: Optional[int] = None) -> float:
+        """Synchronization point (counted; charged by the cost model).
+
+        With a fault plan armed and ``iteration`` given, enforces the
+        collective deadline; returns the straggler lag to charge.
+        """
         self.barriers += 1
+        if iteration is None:
+            return 0.0
+        return self.check_deadline("barrier", iteration)
 
     # -- point to point ----------------------------------------------------------
 

@@ -21,9 +21,11 @@ This module provides that store in two coupled layers:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 import numpy as np
 
+from repro.faults import DKVTimeout, FaultPlan
 from repro.sim.core import ProcessGen, Simulator, Timeout
 from repro.sim.network import Network, NetworkParams
 from repro.sim.rdma import RdmaEngine, RdmaOp
@@ -51,6 +53,76 @@ class DKVTraffic:
             self.per_server_requests[k] = self.per_server_requests.get(k, 0) + v
 
 
+@dataclass
+class DKVFaultStats:
+    """Degradation accounting of a fault-tolerant store.
+
+    ``simulated_delay`` accumulates the simulated seconds lost to
+    timeouts and backoff; the distributed sampler drains it into the
+    stage clocks, so fault windows show up as throughput loss — never
+    as a hang or a crash.
+    """
+
+    timeouts: int = 0
+    retries: int = 0
+    stale_batches: int = 0
+    stale_requests: int = 0
+    dropped_writes: int = 0
+    breaker_opens: int = 0
+    max_staleness: int = 0
+    simulated_delay: float = 0.0
+    per_server_stale: dict[int, int] = field(default_factory=dict)
+
+    def record_stale(self, server: int, n_requests: int, staleness: int) -> None:
+        self.stale_batches += 1
+        self.stale_requests += n_requests
+        self.max_staleness = max(self.max_staleness, staleness)
+        self.per_server_stale[server] = (
+            self.per_server_stale.get(server, 0) + n_requests
+        )
+
+    def drain_delay(self) -> float:
+        """Return and reset the accumulated simulated delay."""
+        out, self.simulated_delay = self.simulated_delay, 0.0
+        return out
+
+
+class _CircuitBreaker:
+    """Per-server breaker: after ``threshold`` consecutive batch failures
+    the server is fenced for ``cooldown`` iterations — ops skip the retry
+    ladder and go straight to the stale snapshot, so one dead server stops
+    taxing every batch with full timeout ladders."""
+
+    __slots__ = ("threshold", "cooldown", "failures", "open_until")
+
+    def __init__(self, threshold: int, cooldown: int) -> None:
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self.failures = 0
+        self.open_until = -1
+
+    def allows(self, iteration: int) -> bool:
+        return iteration >= self.open_until
+
+    @property
+    def is_open(self) -> bool:
+        return self.open_until >= 0 and self.failures >= self.threshold
+
+    def record_success(self) -> None:
+        self.failures = 0
+        self.open_until = -1
+
+    def record_failure(self, iteration: int) -> bool:
+        """Record a failed batch; returns True if this trip opened the
+        breaker."""
+        self.failures += 1
+        if self.failures >= self.threshold:
+            newly = self.open_until < 0
+            self.open_until = iteration + self.cooldown
+            return newly
+        return False
+
+
 class DKVStore:
     """Static-partition fixed-value-size distributed KV store.
 
@@ -64,6 +136,21 @@ class DKVStore:
         n_servers: worker count.
         dtype: storage dtype (float32 in the paper; float64 default here
             for numerical parity with the sequential reference).
+        faults: optional :class:`~repro.faults.FaultPlan`. When a server
+            is stalled, batches against it time out and retry with bounded
+            exponential backoff; exhausted retries trip a per-server
+            circuit breaker and fall back to the last-known snapshot
+            (stale reads — the degradation Li/Ahn/Welling's sampler
+            provably tolerates). ``None`` or an empty plan bypasses every
+            fault path (bit-identical behavior).
+        request_timeout: simulated seconds charged per timed-out attempt.
+        max_retries: retry budget per batch after the first attempt.
+        backoff_base / backoff_cap: exponential backoff schedule
+            (``min(base * 2**attempt, cap)`` seconds, simulated).
+        breaker_threshold / breaker_cooldown: consecutive failed batches
+            that open a server's breaker / iterations it stays open.
+        stale_fallback: if False, exhausted retries raise
+            :class:`~repro.faults.DKVTimeout` instead of degrading.
     """
 
     def __init__(
@@ -72,9 +159,19 @@ class DKVStore:
         value_dim: int,
         n_servers: int,
         dtype=np.float64,
+        faults: Optional[FaultPlan] = None,
+        request_timeout: float = 2e-3,
+        max_retries: int = 3,
+        backoff_base: float = 1e-3,
+        backoff_cap: float = 50e-3,
+        breaker_threshold: int = 2,
+        breaker_cooldown: int = 2,
+        stale_fallback: bool = True,
     ) -> None:
         if n_keys < 1 or value_dim < 1 or n_servers < 1:
             raise ValueError("n_keys, value_dim, n_servers must be positive")
+        if max_retries < 0 or request_timeout < 0:
+            raise ValueError("max_retries and request_timeout must be >= 0")
         self.n_keys = int(n_keys)
         self.value_dim = int(value_dim)
         self.n_servers = int(n_servers)
@@ -89,6 +186,22 @@ class DKVStore:
             for i in range(self.n_servers)
         ]
         self.value_bytes = int(value_dim * np.dtype(dtype).itemsize)
+        # -- fault tolerance (inert unless a non-empty plan is given) -----
+        self.faults = None if faults is None or faults.empty else faults
+        self.request_timeout = float(request_timeout)
+        self.max_retries = int(max_retries)
+        self.backoff_base = float(backoff_base)
+        self.backoff_cap = float(backoff_cap)
+        self.stale_fallback = bool(stale_fallback)
+        self.fault_stats = DKVFaultStats()
+        self._iteration = 0
+        self._breakers = [
+            _CircuitBreaker(breaker_threshold, breaker_cooldown)
+            for _ in range(self.n_servers)
+        ]
+        # Last-known-good snapshots, maintained only under a fault plan.
+        self._snapshots: list[Optional[np.ndarray]] = [None] * self.n_servers
+        self._snapshot_iter = [0] * self.n_servers
 
     # -- placement ----------------------------------------------------------
 
@@ -119,10 +232,73 @@ class DKVStore:
         for s in range(self.n_servers):
             lo, hi = self.shard_slice(s)
             self._shards[s][:] = values[lo:hi]
+            if self.faults is not None:
+                self._snapshots[s] = self._shards[s].copy()
+                self._snapshot_iter[s] = self._iteration
 
     def snapshot(self) -> np.ndarray:
         """Gather every value (for checkpointing / validation)."""
         return np.concatenate(self._shards, axis=0)
+
+    # -- fault handling ---------------------------------------------------------
+
+    def set_iteration(self, iteration: int) -> None:
+        """Advance the store's notion of algorithm time. Stall windows and
+        breaker cooldowns are expressed in iterations, so the driver calls
+        this once per BSP step."""
+        self._iteration = int(iteration)
+
+    def _snapshot(self, server: int) -> np.ndarray:
+        snap = self._snapshots[server]
+        if snap is None:  # store used before populate(); snapshot lazily
+            snap = self._shards[server].copy()
+            self._snapshots[server] = snap
+        return snap
+
+    def _refresh_snapshot(self, server: int) -> None:
+        if self._snapshot_iter[server] != self._iteration or self._snapshots[server] is None:
+            self._snapshots[server] = self._shards[server].copy()
+            self._snapshot_iter[server] = self._iteration
+
+    def _serve_stale(self, server: int, n_requests: int) -> np.ndarray:
+        staleness = self._iteration - self._snapshot_iter[server]
+        self.fault_stats.record_stale(server, n_requests, staleness)
+        return self._snapshot(server)
+
+    def _acquire_server(self, server: int, n_requests: int) -> Optional[np.ndarray]:
+        """Run the timeout/retry/breaker ladder against ``server``.
+
+        Returns ``None`` when the server answered (caller uses the live
+        shard), or the stale snapshot array to read from instead. Raises
+        :class:`DKVTimeout` when degradation is disabled.
+        """
+        assert self.faults is not None
+        stats = self.fault_stats
+        breaker = self._breakers[server]
+        it = self._iteration
+        if breaker.is_open and not breaker.allows(it):
+            # Fenced server: skip the ladder entirely (that is the point
+            # of the breaker — one dead server must not tax every batch).
+            return self._serve_stale(server, n_requests)
+        attempt = 0
+        while True:
+            if not self.faults.server_stalled(server, it, attempt):
+                breaker.record_success()
+                self._refresh_snapshot(server)
+                return None
+            stats.timeouts += 1
+            stats.simulated_delay += self.request_timeout
+            if attempt >= self.max_retries:
+                if breaker.record_failure(it):
+                    stats.breaker_opens += 1
+                if not self.stale_fallback:
+                    raise DKVTimeout(server, attempt + 1)
+                return self._serve_stale(server, n_requests)
+            stats.retries += 1
+            stats.simulated_delay += min(
+                self.backoff_base * (2.0 ** attempt), self.backoff_cap
+            )
+            attempt += 1
 
     # -- batched ops ------------------------------------------------------------
 
@@ -143,8 +319,13 @@ class DKVStore:
         for s in np.unique(owners):
             sel = owners == s
             lo, _ = self.shard_slice(int(s))
-            uvals[sel] = self._shards[int(s)][unique[sel] - lo]
             n_req = int(sel.sum())
+            source = self._shards[int(s)]
+            if self.faults is not None:
+                stale = self._acquire_server(int(s), n_req)
+                if stale is not None:
+                    source = stale
+            uvals[sel] = source[unique[sel] - lo]
             traffic.n_requests += n_req
             traffic.bytes_total += n_req * self.value_bytes
             traffic.per_server_requests[int(s)] = n_req
@@ -169,8 +350,23 @@ class DKVStore:
         for s in np.unique(owners):
             sel = owners == s
             lo, _ = self.shard_slice(int(s))
-            self._shards[int(s)][keys[sel] - lo] = values[sel]
             n_req = int(sel.sum())
+            if self.faults is not None:
+                stale = self._acquire_server(int(s), n_req)
+                if stale is not None:
+                    # Server unreachable: the update is dropped — the old
+                    # pi rows simply persist one more round (stale-write
+                    # degradation; the sampler's next read sees old values,
+                    # which SG-MCMC tolerates). Traffic is still charged:
+                    # the bytes went out before the op timed out.
+                    self.fault_stats.dropped_writes += n_req
+                else:
+                    self._shards[int(s)][keys[sel] - lo] = values[sel]
+                    # Acked writes belong to the last-known-good snapshot.
+                    self._snapshots[int(s)] = self._shards[int(s)].copy()
+                    self._snapshot_iter[int(s)] = self._iteration
+            else:
+                self._shards[int(s)][keys[sel] - lo] = values[sel]
             traffic.n_requests += n_req
             traffic.bytes_total += n_req * self.value_bytes
             traffic.per_server_requests[int(s)] = n_req
@@ -199,20 +395,26 @@ def timed_read_batch(
     value_bytes: int,
     depth: int = 16,
     params: NetworkParams | None = None,
+    faults: FaultPlan | None = None,
 ) -> float:
     """Simulate one client reading ``n_requests`` values from one server.
 
     Mirrors :func:`repro.sim.qperf.run_qperf` on the same simulated fabric
     plus the DKV-specific costs: a value header on the wire, client CPU
     per request (serializing the posting loop), and a server DRAM-fetch
-    penalty for payloads that cannot stay cache-resident. Returns elapsed
+    penalty for payloads that cannot stay cache-resident. Under a
+    :class:`~repro.faults.FaultPlan`, injected RDMA op failures are
+    reposted until they succeed and link degradation stretches the wire
+    times — the batch always completes, just slower. Returns elapsed
     seconds.
     """
     if n_requests < 1:
         raise ValueError("need at least one request")
     sim = Simulator()
-    net = Network(sim, n_nodes=2, params=params or NetworkParams.fdr_infiniband())
-    engine = RdmaEngine(sim, net)
+    net = Network(
+        sim, n_nodes=2, params=params or NetworkParams.fdr_infiniband(), faults=faults
+    )
+    engine = RdmaEngine(sim, net, faults=faults)
     payload = value_bytes + VALUE_HEADER_BYTES
     dram_penalty = (
         value_bytes / SERVER_DRAM_BANDWIDTH if value_bytes > CACHE_RESIDENT_BYTES else 0.0
@@ -231,6 +433,10 @@ def timed_read_batch(
                 continue
             op = inflight.pop(0)
             yield op.completion
+            if op.failed:
+                # Error CQE: free the window slot and repost the read.
+                posted -= 1
+                continue
             completed += 1
             if dram_penalty:
                 yield Timeout(dram_penalty)

@@ -8,12 +8,35 @@ configuration, and the exact RNG states, so a resumed run continues
 ``tests/test_checkpoint.py``).
 
 Format: a single ``.npz`` with arrays plus JSON-encoded metadata.
+
+Durability: checkpoints are written *atomically* — the archive is
+serialized to a temporary file in the target directory, fsynced, and
+renamed over the destination with ``os.replace``. A crash mid-write
+(power loss, OOM-killed master) can therefore never leave a truncated
+checkpoint under the real name; the previous checkpoint survives intact.
+Anything wrong with a checkpoint at load time (missing file, corrupt or
+truncated archive, missing keys, unreadable metadata) surfaces as a
+typed :class:`CheckpointError` naming the offending path, instead of a
+raw ``zipfile``/``KeyError`` leaking from the internals.
+
+Two granularities are offered:
+
+- :func:`save_checkpoint` / :func:`load_checkpoint` — full single-process
+  sampler state including RNG streams (bit-exact resume);
+- :func:`save_state_checkpoint` / :func:`load_state_checkpoint` — model
+  state + iteration + config only, backend-agnostic. Used by the
+  multiprocess runtime's auto-checkpointing, where per-worker RNG
+  streams live in other processes and a resume restarts them from seed
+  (coarse-grained disaster recovery).
 """
 
 from __future__ import annotations
 
 import dataclasses
 import json
+import os
+import tempfile
+import zipfile
 from pathlib import Path
 from typing import Union
 
@@ -26,6 +49,20 @@ from repro.core.state import ModelState
 PathLike = Union[str, Path]
 
 FORMAT_VERSION = 1
+
+
+class CheckpointError(ValueError):
+    """A checkpoint could not be read or fails validation.
+
+    Subclasses :class:`ValueError` so callers guarding with the generic
+    exception keep working; carries the offending ``path`` so operators
+    know *which* file to discard or restore from backup.
+    """
+
+    def __init__(self, path: PathLike, reason: str) -> None:
+        self.path = Path(path)
+        self.reason = reason
+        super().__init__(f"checkpoint {self.path}: {reason}")
 
 
 def _config_to_json(config: AMMSBConfig) -> str:
@@ -41,8 +78,81 @@ def _config_from_json(blob: str) -> AMMSBConfig:
     return AMMSBConfig(**d)
 
 
-def save_checkpoint(path: PathLike, sampler: AMMSBSampler) -> None:
-    """Write the sampler's full state to ``path`` (.npz)."""
+def _atomic_savez(path: PathLike, **arrays) -> Path:
+    """Write an ``.npz`` atomically: temp file + fsync + ``os.replace``.
+
+    ``np.savez`` appends ``.npz`` when given a bare name, so the archive
+    is serialized through an explicit file object instead; the temp file
+    lives in the destination directory to keep the final rename within
+    one filesystem.
+    """
+    target = Path(path)
+    if target.suffix != ".npz":
+        target = target.with_name(target.name + ".npz")
+    target.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=f".{target.name}.", suffix=".tmp", dir=target.parent
+    )
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            np.savez_compressed(fh, **arrays)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp_name, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    # Make the rename itself durable (directory entry update).
+    try:
+        dir_fd = os.open(target.parent, os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+    except OSError:  # pragma: no cover - platform without dir fsync
+        pass
+    return target
+
+
+def _open_archive(path: PathLike):
+    """``np.load`` with typed error translation (missing/corrupt files)."""
+    p = Path(path)
+    if not p.exists():
+        raise CheckpointError(p, "file does not exist")
+    try:
+        return np.load(str(p), allow_pickle=False)
+    except (zipfile.BadZipFile, OSError, ValueError) as exc:
+        raise CheckpointError(p, f"corrupt or truncated archive ({exc})") from exc
+
+
+def _read_meta(path: PathLike, data) -> dict:
+    try:
+        meta = json.loads(str(data["_meta"]))
+    except KeyError as exc:
+        raise CheckpointError(path, "missing _meta record") from exc
+    except (json.JSONDecodeError, ValueError) as exc:
+        raise CheckpointError(path, f"unreadable metadata ({exc})") from exc
+    if meta.get("version") != FORMAT_VERSION:
+        raise CheckpointError(
+            path, f"unsupported checkpoint version {meta.get('version')}"
+        )
+    return meta
+
+
+def _read_array(path: PathLike, data, key: str) -> np.ndarray:
+    try:
+        return data[key].copy()
+    except KeyError as exc:
+        raise CheckpointError(path, f"missing array {key!r}") from exc
+    except (zipfile.BadZipFile, OSError, ValueError) as exc:
+        raise CheckpointError(path, f"array {key!r} unreadable ({exc})") from exc
+
+
+def save_checkpoint(path: PathLike, sampler: AMMSBSampler) -> Path:
+    """Atomically write the sampler's full state to ``path`` (.npz)."""
     meta = {
         "version": FORMAT_VERSION,
         "iteration": sampler.iteration,
@@ -59,7 +169,7 @@ def save_checkpoint(path: PathLike, sampler: AMMSBSampler) -> None:
     if est is not None:
         arrays["perp_prob_sum"] = est._prob_sum
         meta["perp_count"] = est.n_samples
-    np.savez_compressed(str(path), _meta=json.dumps(meta), **arrays)
+    return _atomic_savez(path, _meta=json.dumps(meta), **arrays)
 
 
 def load_checkpoint(path: PathLike, graph, heldout=None) -> AMMSBSampler:
@@ -74,23 +184,86 @@ def load_checkpoint(path: PathLike, graph, heldout=None) -> AMMSBSampler:
 
     Returns:
         A sampler that continues exactly where the saved one stopped.
+
+    Raises:
+        CheckpointError: the file is missing, corrupt, truncated, lacks
+            required keys, or holds a state that fails validation.
     """
-    with np.load(str(path), allow_pickle=False) as data:
-        meta = json.loads(str(data["_meta"]))
-        if meta["version"] != FORMAT_VERSION:
-            raise ValueError(f"unsupported checkpoint version {meta['version']}")
-        config = _config_from_json(meta["config"])
+    with _open_archive(path) as data:
+        meta = _read_meta(path, data)
+        try:
+            config = _config_from_json(meta["config"])
+            iteration = int(meta["iteration"])
+            rng_state = json.loads(meta["rng_state"])
+            noise_rng_state = json.loads(meta["noise_rng_state"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(path, f"invalid metadata ({exc})") from exc
         state = ModelState(
-            pi=data["pi"].copy(),
-            phi_sum=data["phi_sum"].copy(),
-            theta=data["theta"].copy(),
+            pi=_read_array(path, data, "pi"),
+            phi_sum=_read_array(path, data, "phi_sum"),
+            theta=_read_array(path, data, "theta"),
         )
         sampler = AMMSBSampler(graph, config, heldout=heldout, state=state)
-        sampler.iteration = int(meta["iteration"])
-        sampler.rng.bit_generator.state = json.loads(meta["rng_state"])
-        sampler.noise_rng.bit_generator.state = json.loads(meta["noise_rng_state"])
+        sampler.iteration = iteration
+        sampler.rng.bit_generator.state = rng_state
+        sampler.noise_rng.bit_generator.state = noise_rng_state
         if sampler.perplexity_estimator is not None and "perp_prob_sum" in data:
             sampler.perplexity_estimator._prob_sum = data["perp_prob_sum"].copy()
             sampler.perplexity_estimator._count = int(meta.get("perp_count", 0))
-    state.validate()
+    try:
+        state.validate()
+    except ValueError as exc:
+        raise CheckpointError(path, f"invalid state ({exc})") from exc
     return sampler
+
+
+# -- backend-agnostic model-state checkpoints ---------------------------------
+
+
+def save_state_checkpoint(
+    path: PathLike, state: ModelState, iteration: int, config: AMMSBConfig
+) -> Path:
+    """Atomically write a bare model state (no RNG streams).
+
+    The portable subset every backend shares — used by the multiprocess
+    runtime's auto-checkpointing.
+    """
+    meta = {
+        "version": FORMAT_VERSION,
+        "kind": "state",
+        "iteration": int(iteration),
+        "config": _config_to_json(config),
+    }
+    return _atomic_savez(
+        path,
+        _meta=json.dumps(meta),
+        pi=state.pi,
+        phi_sum=state.phi_sum,
+        theta=state.theta,
+    )
+
+
+def load_state_checkpoint(path: PathLike) -> tuple[ModelState, int, AMMSBConfig]:
+    """Read a model-state checkpoint: ``(state, iteration, config)``.
+
+    Raises:
+        CheckpointError: missing/corrupt file, missing keys, or a state
+            that fails validation.
+    """
+    with _open_archive(path) as data:
+        meta = _read_meta(path, data)
+        try:
+            config = _config_from_json(meta["config"])
+            iteration = int(meta["iteration"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(path, f"invalid metadata ({exc})") from exc
+        state = ModelState(
+            pi=_read_array(path, data, "pi"),
+            phi_sum=_read_array(path, data, "phi_sum"),
+            theta=_read_array(path, data, "theta"),
+        )
+    try:
+        state.validate()
+    except ValueError as exc:
+        raise CheckpointError(path, f"invalid state ({exc})") from exc
+    return state, iteration, config

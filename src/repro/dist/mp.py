@@ -1,4 +1,4 @@
-"""Real multi-process distributed execution.
+"""Real multi-process distributed execution with failure recovery.
 
 The in-process :class:`~repro.dist.sampler.DistributedAMMSBSampler`
 executes ranks sequentially (with a simulated clock). This module runs
@@ -19,14 +19,38 @@ the same master-worker protocol across **operating-system processes**:
 
 This is genuine parallelism (one process per worker, no GIL sharing);
 on a multi-core host the phi stage scales with worker count.
+
+Failure model (see DESIGN.md "Failure model & degradation"): every
+result collection carries a poll deadline, so a dead or wedged worker
+can never hang the master. A worker whose process exits (detected via
+``Process.exitcode``) — or that stays silent past ``heartbeat_timeout``
+and is fenced by termination — is removed from the active set, its
+shard is re-partitioned across the survivors, and the interrupted
+iteration is retried. A mid-iteration loss is safe for SG-MCMC: phi
+writes target disjoint rows, so a partially applied iteration is just
+one extra stochastic step; correctness degrades to staleness, never to
+corruption. Opt-in auto-checkpointing (``checkpoint_path`` +
+``checkpoint_every``) reuses :mod:`repro.core.checkpoint`'s atomic
+writer so a master crash can resume from the last durable state.
+Every command/result carries a sequence number; results from an aborted
+round are recognized and dropped, so recovery never mis-attributes a
+straggler's answer.
+
+:class:`~repro.faults.FaultPlan` injection (worker crashes via
+``os._exit``, stalls via ``time.sleep``) exercises exactly these paths
+in the chaos tests.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
+import queue as queue_mod
+import time
 from dataclasses import dataclass
 from multiprocessing import shared_memory
-from typing import Optional
+from pathlib import Path
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
@@ -36,6 +60,7 @@ from repro.core.minibatch import NeighborSample
 from repro.core.state import ModelState, init_state
 from repro.dist.master import MasterContext
 from repro.dist.partition import WorkerShard
+from repro.faults import FaultPlan, WorkerCrashed
 from repro.graph.graph import Graph, edge_keys
 from repro.graph.split import HeldoutSplit
 
@@ -46,6 +71,15 @@ class _PhiResult:
     new_values: np.ndarray
 
 
+@dataclass(frozen=True)
+class RecoveryEvent:
+    """One healed failure: which workers were lost and when."""
+
+    iteration: int
+    workers: tuple[int, ...]
+    stalled: bool
+
+
 def _worker_loop(
     worker_id: int,
     shm_name: str,
@@ -54,10 +88,16 @@ def _worker_loop(
     config: AMMSBConfig,
     n_vertices: int,
     heldout_keys: Optional[np.ndarray],
+    faults: Optional[FaultPlan],
     cmd_recv,
     res_send,
 ) -> None:
-    """Worker process: command loop over the shared pi table."""
+    """Worker process: command loop over the shared pi table.
+
+    Every result message is ``(tag, worker_id, seq, key, payload)`` where
+    ``seq`` echoes the command's sequence number — the master uses it to
+    drop stragglers from rounds aborted by a failure.
+    """
     shm = shared_memory.SharedMemory(name=shm_name)
     try:
         table = np.ndarray(table_shape, dtype=np.dtype(dtype_str), buffer=shm.buf)
@@ -99,16 +139,31 @@ def _worker_loop(
             return NeighborSample(neighbors=neighbors, labels=labels, mask=mask)
 
         while True:
-            cmd = cmd_recv.recv()
+            try:
+                cmd = cmd_recv.recv()
+            except EOFError:
+                # Master closed its end (prompt shutdown) or died; either
+                # way there is no more work.
+                break
             op = cmd[0]
             if op == "stop":
                 break
-            elif op == "phi_compute":
-                _, shard, beta, eps_t = cmd
+            seq = cmd[1]
+            if op == "phi_compute":
+                _, _, shard, beta, eps_t, iteration = cmd
+                if faults is not None:
+                    # Injected process faults for the chaos tests: a crash
+                    # is an abrupt death (no cleanup, like a real SIGKILL
+                    # or OOM); a stall is a wedged worker.
+                    stall = faults.worker_stall_seconds(worker_id, iteration)
+                    if stall > 0:
+                        time.sleep(stall)
+                    if faults.crash_due(worker_id, iteration):
+                        os._exit(23)
                 vs = shard.vertices
                 if vs.size == 0:
                     pending = _PhiResult(vs, np.zeros((0, k + 1)))
-                    res_send.put(("phi_done", worker_id))
+                    res_send.put(("phi_done", worker_id, seq, worker_id, None))
                     continue
                 ns = sample_neighbors(shard)
                 all_keys = np.concatenate([vs, ns.neighbors.reshape(-1)])
@@ -136,14 +191,14 @@ def _worker_loop(
                     vs,
                     np.concatenate([new_phi / sums[:, None], sums[:, None]], axis=1),
                 )
-                res_send.put(("phi_done", worker_id))
+                res_send.put(("phi_done", worker_id, seq, worker_id, None))
             elif op == "pi_write":
                 assert pending is not None
                 if pending.vertices.size:
                     table[pending.vertices] = pending.new_values
-                res_send.put(("write_done", worker_id))
+                res_send.put(("write_done", worker_id, seq, worker_id, None))
             elif op == "theta_partial":
-                _, theta = cmd
+                _, _, theta = cmd
                 grad = np.zeros_like(theta)
                 assert shard is not None
                 for stratum in shard.strata:
@@ -156,9 +211,9 @@ def _worker_loop(
                         theta,
                         config.delta,
                     )
-                res_send.put(("theta", worker_id, grad))
+                res_send.put(("theta", worker_id, seq, worker_id, grad))
             elif op == "perplexity":
-                _, pairs, labels, beta = cmd
+                _, _, part, pairs, labels, beta = cmd
                 from repro.core.perplexity import link_probability
 
                 if len(pairs):
@@ -170,7 +225,7 @@ def _worker_loop(
                     probs = np.where(labels, p1, 1.0 - p1)
                 else:
                     probs = np.zeros(0)
-                res_send.put(("perp", worker_id, probs))
+                res_send.put(("perp", worker_id, seq, part, probs))
             else:  # pragma: no cover - protocol guard
                 raise RuntimeError(f"unknown command {op!r}")
     finally:
@@ -193,6 +248,21 @@ class MultiprocessAMMSBSampler:
         n_workers: worker process count.
         heldout: optional held-out split (enables perplexity).
         state: optional initial state.
+        faults: optional :class:`~repro.faults.FaultPlan`; worker crashes
+            and stalls in the plan are injected inside the worker
+            processes, exercising the recovery machinery below. An empty
+            plan is bit-identical to ``faults=None``.
+        heartbeat_timeout: real seconds the master waits for a stage
+            result before fencing silent-but-alive workers as dead (a
+            worker whose *process* exited is detected within
+            ``poll_interval`` regardless).
+        poll_interval: result-queue poll granularity, real seconds.
+        shutdown_timeout: grace period :meth:`close` allows workers to
+            exit before escalating to ``terminate()``.
+        checkpoint_path: opt-in auto-checkpoint target (atomic writes via
+            :mod:`repro.core.checkpoint`).
+        checkpoint_every: iterations between auto-checkpoints (0 = only
+            explicit :meth:`save_checkpoint` calls).
     """
 
     def __init__(
@@ -202,12 +272,27 @@ class MultiprocessAMMSBSampler:
         n_workers: int = 2,
         heldout: Optional[HeldoutSplit] = None,
         state: Optional[ModelState] = None,
+        faults: Optional[FaultPlan] = None,
+        heartbeat_timeout: float = 30.0,
+        poll_interval: float = 0.05,
+        shutdown_timeout: float = 5.0,
+        checkpoint_path: Optional[Union[str, Path]] = None,
+        checkpoint_every: int = 0,
     ) -> None:
         if n_workers < 1:
             raise ValueError("need at least one worker")
+        if heartbeat_timeout <= 0 or poll_interval <= 0 or shutdown_timeout < 0:
+            raise ValueError("timeouts must be positive")
         self.graph = graph
         self.config = config
         self.n_workers = n_workers
+        self.faults = None if faults is None or faults.empty else faults
+        self.heartbeat_timeout = float(heartbeat_timeout)
+        self.poll_interval = float(poll_interval)
+        self.shutdown_timeout = float(shutdown_timeout)
+        self.checkpoint_path = Path(checkpoint_path) if checkpoint_path else None
+        self.checkpoint_every = int(checkpoint_every)
+        self.recoveries: list[RecoveryEvent] = []
 
         heldout_keys = None
         if heldout is not None:
@@ -239,7 +324,9 @@ class MultiprocessAMMSBSampler:
 
         ctx = mp.get_context("fork")
         self._cmd_pipes = []
-        self._res_queue = ctx.SimpleQueue()
+        # A real Queue (not SimpleQueue) so result collection can poll
+        # with a timeout — the heartbeat that makes hangs impossible.
+        self._res_queue = ctx.Queue()
         self._procs = []
         for w in range(n_workers):
             recv, send = ctx.Pipe(duplex=False)
@@ -254,6 +341,7 @@ class MultiprocessAMMSBSampler:
                     config,
                     graph.n_vertices,
                     heldout_keys,
+                    self.faults,
                     recv,
                     self._res_queue,
                 ),
@@ -261,25 +349,54 @@ class MultiprocessAMMSBSampler:
             )
             proc.start()
             self._procs.append(proc)
+        #: Worker ids still alive and holding shards (shrinks on recovery).
+        self._active: list[int] = list(range(n_workers))
+        self._seq = 0
         self.iteration = 0
         self._closed = False
 
     # -- lifecycle -----------------------------------------------------------
 
+    @property
+    def active_workers(self) -> tuple[int, ...]:
+        """Ids of the workers currently carrying shards."""
+        return tuple(self._active)
+
     def close(self) -> None:
-        """Stop workers and release the shared-memory segment."""
+        """Stop workers and release the shared-memory segment.
+
+        Prompt even when a worker is wedged mid-command: the stop message
+        and the pipe close wake any worker blocked in ``recv()``
+        immediately; whoever is still alive after ``shutdown_timeout``
+        (e.g. wedged inside a computation) is terminated and reaped.
+        """
         if self._closed:
             return
         self._closed = True
+        for w in self._active:
+            try:
+                self._cmd_pipes[w].send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
         for pipe in self._cmd_pipes:
             try:
-                pipe.send(("stop",))
-            except (BrokenPipeError, OSError):  # pragma: no cover
+                pipe.close()
+            except OSError:  # pragma: no cover - already closed
                 pass
+        deadline = time.monotonic() + self.shutdown_timeout
         for proc in self._procs:
-            proc.join(timeout=10)
-            if proc.is_alive():  # pragma: no cover - watchdog
+            proc.join(timeout=max(0.0, deadline - time.monotonic()))
+        for proc in self._procs:
+            if proc.is_alive():
                 proc.terminate()
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.join(timeout=2.0)
+            if proc.is_alive():  # pragma: no cover - terminate ignored
+                proc.kill()
+                proc.join()
+        self._res_queue.close()
+        self._res_queue.cancel_join_thread()
         self._shm.close()
         try:
             self._shm.unlink()
@@ -300,14 +417,103 @@ class MultiprocessAMMSBSampler:
 
     # -- protocol helpers ------------------------------------------------------
 
-    def _collect(self, expected_tag: str) -> list:
-        out = [None] * self.n_workers
-        for _ in range(self.n_workers):
-            msg = self._res_queue.get()
-            if msg[0] != expected_tag:
-                raise RuntimeError(f"expected {expected_tag}, got {msg[0]}")
-            out[msg[1]] = msg[2] if len(msg) > 2 else True
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def _send(self, worker: int, payload: tuple) -> None:
+        try:
+            self._cmd_pipes[worker].send(payload)
+        except (BrokenPipeError, OSError):
+            # The worker died with its pipe; the collect deadline turns
+            # this into a WorkerCrashed with full context.
+            pass
+
+    def _collect(self, expected_tag: str, keys: Sequence[int], seq: int) -> dict:
+        """Gather one result per key, with heartbeat-based failure detection.
+
+        Returns ``{key: payload}``. Raises :class:`WorkerCrashed` listing
+        every worker found dead (process exited) or fenced (silent past
+        ``heartbeat_timeout`` — those are terminated first, so the failure
+        set is stable by the time the caller recovers).
+        """
+        remaining = set(keys)
+        out: dict = {}
+        deadline = time.monotonic() + self.heartbeat_timeout
+        while remaining:
+            try:
+                msg = self._res_queue.get(timeout=self.poll_interval)
+            except queue_mod.Empty:
+                dead = [
+                    w for w in self._active if self._procs[w].exitcode is not None
+                ]
+                if dead:
+                    raise WorkerCrashed(dead)
+                if time.monotonic() > deadline:
+                    # Alive but silent past the heartbeat: fence by
+                    # termination so the recovery set cannot race.
+                    silent = sorted(
+                        {w for w in self._active if self._expects(w, remaining, expected_tag)}
+                    )
+                    if not silent:  # pragma: no cover - defensive
+                        silent = sorted(self._active)
+                    for w in silent:
+                        self._procs[w].terminate()
+                    for w in silent:
+                        self._procs[w].join(timeout=2.0)
+                    raise WorkerCrashed(silent, stalled=True)
+                continue
+            tag, worker, mseq, key, payload = msg
+            if mseq != seq:
+                continue  # straggler from an aborted round; drop
+            if tag != expected_tag or key not in remaining:
+                raise RuntimeError(
+                    f"protocol error: expected {expected_tag} for {sorted(remaining)}, "
+                    f"got {tag} key={key} from worker {worker}"
+                )
+            remaining.discard(key)
+            out[key] = payload
         return out
+
+    def _expects(self, worker: int, remaining: set, tag: str) -> bool:
+        """Is ``worker`` responsible for any still-missing key?"""
+        if tag == "perp":
+            n = len(self._active)
+            return any(
+                self._active[key % n] == worker for key in remaining
+            )
+        return worker in remaining
+
+    def _recover(self, crash: WorkerCrashed) -> None:
+        """Heal a failure: drop the dead workers, re-partition their load.
+
+        The master's partitioner is simply told the new worker count;
+        from the retried iteration on, every mini-batch (and the held-out
+        evaluation parts) is spread across the survivors only — the dead
+        worker's shard re-partitioned mid-run, as the paper's static
+        layout never could.
+        """
+        lost = [w for w in crash.workers if w in self._active]
+        for w in lost:
+            self._active.remove(w)
+            proc = self._procs[w]
+            if proc.exitcode is None:
+                proc.terminate()
+            proc.join(timeout=2.0)
+            try:
+                self._cmd_pipes[w].close()
+            except OSError:  # pragma: no cover
+                pass
+        if lost:
+            self.recoveries.append(
+                RecoveryEvent(self.iteration, tuple(lost), crash.stalled)
+            )
+        if not self._active:
+            self.close()
+            raise RuntimeError(
+                f"all workers lost at iteration {self.iteration}"
+            ) from crash
+        self.master.n_workers = len(self._active)
 
     # -- derived views ------------------------------------------------------------
 
@@ -322,31 +528,97 @@ class MultiprocessAMMSBSampler:
             theta=self.theta.copy(),
         )
 
+    # -- checkpointing --------------------------------------------------------------
+
+    def save_checkpoint(self, path: Optional[Union[str, Path]] = None) -> Path:
+        """Atomically write the current model state (see
+        :func:`repro.core.checkpoint.save_state_checkpoint`)."""
+        from repro.core.checkpoint import save_state_checkpoint
+
+        target = Path(path) if path is not None else self.checkpoint_path
+        if target is None:
+            raise ValueError("no checkpoint path configured")
+        return save_state_checkpoint(
+            target, self.state_snapshot(), self.iteration, self.config
+        )
+
+    @classmethod
+    def from_checkpoint(
+        cls,
+        path: Union[str, Path],
+        graph: Graph,
+        heldout: Optional[HeldoutSplit] = None,
+        **kwargs,
+    ) -> "MultiprocessAMMSBSampler":
+        """Resume a run from an auto-checkpoint.
+
+        Restores model state and the iteration counter (and therefore the
+        step-size schedule). RNG streams restart from their seeds — this
+        is coarse-grained disaster recovery for a crashed *master*, not
+        the bit-exact single-process resume of
+        :func:`repro.core.checkpoint.load_checkpoint`.
+        """
+        from repro.core.checkpoint import load_state_checkpoint
+
+        state, iteration, config = load_state_checkpoint(path)
+        sampler = cls(graph, config, heldout=heldout, state=state, **kwargs)
+        sampler.iteration = iteration
+        return sampler
+
+    def _maybe_autocheckpoint(self) -> None:
+        if (
+            self.checkpoint_path is not None
+            and self.checkpoint_every > 0
+            and self.iteration % self.checkpoint_every == 0
+        ):
+            self.save_checkpoint()
+
     # -- iteration -------------------------------------------------------------------
 
     def step(self) -> None:
-        """One BSP iteration across the worker processes."""
+        """One BSP iteration across the worker processes.
+
+        Retries transparently when workers are lost mid-iteration: the
+        failure is healed (:meth:`_recover`) and the iteration re-runs on
+        the survivors. Worker losses are visible in :attr:`recoveries`.
+        """
         if self._closed:
             raise RuntimeError("sampler is closed")
+        while True:
+            try:
+                self._step_once()
+                break
+            except WorkerCrashed as crash:
+                self._recover(crash)
+        self.iteration += 1
+        self._maybe_autocheckpoint()
+
+    def _step_once(self) -> None:
         cfg = self.config
+        active = list(self._active)
         draw = self.master.next_draw()
         eps_phi = cfg.step_phi.at(self.iteration)
         beta = self.beta
         # Stage: scatter + phi compute (reads only) ... barrier.
-        for w, shard in enumerate(draw.shards):
-            self._cmd_pipes[w].send(("phi_compute", shard, beta, eps_phi))
-        self._collect("phi_done")
+        seq = self._next_seq()
+        for idx, w in enumerate(active):
+            self._send(
+                w, ("phi_compute", seq, draw.shards[idx], beta, eps_phi, self.iteration)
+            )
+        self._collect("phi_done", active, seq)
         # Stage: pi write-back (disjoint rows) ... barrier.
-        for pipe in self._cmd_pipes:
-            pipe.send(("pi_write",))
-        self._collect("write_done")
+        seq = self._next_seq()
+        for w in active:
+            self._send(w, ("pi_write", seq))
+        self._collect("write_done", active, seq)
         # Stage: theta partials -> reduce at master -> update.
-        for pipe in self._cmd_pipes:
-            pipe.send(("theta_partial", self.theta))
-        partials = self._collect("theta")
+        seq = self._next_seq()
+        for w in active:
+            self._send(w, ("theta_partial", seq, self.theta))
+        partials = self._collect("theta", active, seq)
         grad_total = np.zeros_like(self.theta)
-        for g in partials:
-            grad_total += g
+        for w in active:
+            grad_total += partials[w]
         self.theta = gradients.update_theta(
             self.theta,
             grad_total,
@@ -355,7 +627,6 @@ class MultiprocessAMMSBSampler:
             scale=1.0,
             noise=self.master.theta_noise(self.theta.shape),
         )
-        self.iteration += 1
 
     def run(self, n_iterations: int, perplexity_every: int = 0) -> None:
         for _ in range(n_iterations):
@@ -368,19 +639,34 @@ class MultiprocessAMMSBSampler:
                 self.evaluate_perplexity()
 
     def evaluate_perplexity(self) -> float:
-        """Distributed perplexity over the statically partitioned E_h."""
+        """Distributed perplexity over the statically partitioned E_h.
+
+        The static parts outlive worker losses: part ``j`` is evaluated
+        by survivor ``active[j % len(active)]``, so a shrunken worker set
+        still covers every held-out pair.
+        """
         if not self._heldout_parts:
             raise RuntimeError("no held-out split was provided")
-        beta = self.beta
-        for w, (pairs, labels) in enumerate(self._heldout_parts):
-            self._cmd_pipes[w].send(("perplexity", pairs, labels, beta))
-        probs = self._collect("perp")
+        while True:
+            try:
+                probs = self._perplexity_once()
+                break
+            except WorkerCrashed as crash:
+                self._recover(crash)
         self._prob_count += 1
         log_sum = 0.0
         count = 0
-        for w, p in enumerate(probs):
-            self._prob_sums[w] += p
-            avg = self._prob_sums[w] / self._prob_count
+        for j, p in probs.items():
+            self._prob_sums[j] += p
+            avg = self._prob_sums[j] / self._prob_count
             log_sum += float(np.log(np.maximum(avg, 1e-12)).sum())
             count += len(p)
         return float(np.exp(-log_sum / max(count, 1)))
+
+    def _perplexity_once(self) -> dict[int, np.ndarray]:
+        beta = self.beta
+        seq = self._next_seq()
+        n = len(self._active)
+        for j, (pairs, labels) in enumerate(self._heldout_parts):
+            self._send(self._active[j % n], ("perplexity", seq, j, pairs, labels, beta))
+        return self._collect("perp", range(len(self._heldout_parts)), seq)

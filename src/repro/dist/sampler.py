@@ -35,6 +35,7 @@ from repro.cluster.comm import Communicator
 from repro.cluster.costmodel import CostModel, StageTimes
 from repro.cluster.dkv import DKVStore, DKVTraffic
 from repro.cluster.spec import ClusterSpec, das5
+from repro.faults import FaultPlan
 from repro.core.minibatch import Minibatch, NeighborSample
 from repro.core.state import ModelState, init_state
 from repro.dist.master import MasterContext
@@ -84,6 +85,15 @@ class DistributedAMMSBSampler:
             Section III-D (changes the simulated clock, and the master
             genuinely prefetches the next mini-batch).
         state: optional initial state (random otherwise).
+        faults: optional :class:`~repro.faults.FaultPlan`. DKV server
+            stalls degrade into retries / circuit-broken stale pi reads
+            (real staleness in the numerics, extra simulated seconds in
+            the clock); worker stalls are charged as straggler time at
+            barriers; a stall past ``comm_timeout`` raises
+            :class:`~repro.faults.CommTimeout` instead of hanging. An
+            empty plan is bit-identical to ``faults=None``.
+        comm_timeout: collective deadline in simulated seconds (armed
+            only when a fault plan is present).
     """
 
     def __init__(
@@ -94,14 +104,21 @@ class DistributedAMMSBSampler:
         heldout: Optional[HeldoutSplit] = None,
         pipelined: bool = True,
         state: Optional[ModelState] = None,
+        faults: Optional[FaultPlan] = None,
+        comm_timeout: Optional[float] = 60.0,
     ) -> None:
         self.graph = graph
         self.config = config
         self.cluster = cluster or das5(4)
         self.pipelined = pipelined
         self.cost = CostModel(self.cluster)
+        self.faults = None if faults is None or faults.empty else faults
         n_workers = self.cluster.n_workers
-        self.comm = Communicator(n_workers + 1)
+        self.comm = Communicator(
+            n_workers + 1,
+            faults=self.faults,
+            timeout=comm_timeout if self.faults is not None else None,
+        )
 
         heldout_keys = None
         self._heldout = heldout
@@ -111,7 +128,11 @@ class DistributedAMMSBSampler:
 
         k = config.n_communities
         self.dkv = DKVStore(
-            graph.n_vertices, k + 1, n_workers, dtype=np.dtype(config.dtype)
+            graph.n_vertices,
+            k + 1,
+            n_workers,
+            dtype=np.dtype(config.dtype),
+            faults=self.faults,
         )
         init = state if state is not None else init_state(graph.n_vertices, config, self.master.rng)
         self.dkv.populate(np.concatenate([init.pi, init.phi_sum[:, None]], axis=1))
@@ -188,6 +209,9 @@ class DistributedAMMSBSampler:
         cost = self.cost
         n_workers = self.cluster.n_workers
         t = StageTimes()
+        # Fault windows are indexed by iteration; advance the DKV clock.
+        if self.faults is not None:
+            self.dkv.set_iteration(self.iteration)
 
         # -- stage 1: draw + deploy (master) --------------------------------
         draw = self.master.next_draw(minibatch)
@@ -222,9 +246,9 @@ class DistributedAMMSBSampler:
             t_load = max(t_load, self._read_time(res.read_traffic))
             t_comp = max(t_comp, res.ops_phi / cost.node_kernel_rate())
         t.sample_neighbors = t_sample
-        t.load_pi = t_load
+        t.load_pi = t_load + self.dkv.fault_stats.drain_delay()
         t.update_phi_compute = t_comp
-        self.comm.barrier()
+        straggler_lag = self.comm.barrier(iteration=self.iteration)
 
         # Pipelined: the master prepares the *next* mini-batch while the
         # workers are inside update_phi (this really happens — the next
@@ -240,8 +264,8 @@ class DistributedAMMSBSampler:
                 t_pi,
                 res.ops_pi / cost.node_kernel_rate() + self._write_time(traffic),
             )
-        t.update_pi = t_pi
-        self.comm.barrier()
+        t.update_pi = t_pi + self.dkv.fault_stats.drain_delay()
+        self.comm.barrier(iteration=self.iteration)
 
         # -- stage 5: update_beta/theta ---------------------------------------
         partials = []
@@ -253,7 +277,10 @@ class DistributedAMMSBSampler:
                 t_beta_work,
                 ops * cost.c_beta_element + self._read_time(traffic),
             )
-        grad_total = self.comm.reduce([np.zeros_like(self.theta)] + partials)
+        t_beta_work += self.dkv.fault_stats.drain_delay()
+        grad_total = self.comm.reduce(
+            [np.zeros_like(self.theta)] + partials, iteration=self.iteration
+        )
         if theta_noise is None:
             theta_noise = self.master.theta_noise(self.theta.shape)
         from repro.core import gradients
@@ -278,7 +305,8 @@ class DistributedAMMSBSampler:
             + cfg.n_communities / cost.node_kernel_rate(threads=1)
             + cost.tree_collective_time(cfg.n_communities * 8)
         )
-        t.barriers = 2 * cost.barrier_time()
+        # BSP semantics: an injected straggler delays every barrier party.
+        t.barriers = 2 * cost.barrier_time() + straggler_lag
 
         # -- clock composition (Section III-D) ---------------------------------
         if self.pipelined:
@@ -350,6 +378,7 @@ class DistributedAMMSBSampler:
             t_pass = max(t_pass, compute + load)
         reduced = self.comm.reduce([np.array([log_sum, count])] + [np.zeros(2)] * self.cluster.n_workers)
         t_pass += self.cost.tree_collective_time(16)
+        t_pass += self.dkv.fault_stats.drain_delay()
         self.timing.perplexity_passes.append(t_pass)
         return float(np.exp(-reduced[0] / max(reduced[1], 1)))
 

@@ -1,0 +1,323 @@
+"""Deterministic fault injection for the distributed runtime.
+
+The paper's 65-node DAS5 runs assume a fault-free cluster; a production
+deployment cannot. Li/Ahn/Welling's SG-MCMC sampler tolerates stale pi
+reads, which is exactly the property a deployment should exploit for
+graceful degradation: a slow, stalled, or dead component should cost
+throughput, never correctness.
+
+This module is the single source of truth for *what goes wrong and when*.
+A :class:`FaultPlan` is a seeded, immutable schedule of faults that every
+distributed layer consumes:
+
+- :mod:`repro.sim.network` / :mod:`repro.sim.rdma` — link latency spikes,
+  bandwidth degradation, and RDMA op failures on the simulated fabric;
+- :mod:`repro.cluster.dkv` — DKV server stalls, answered with per-batch
+  timeouts, bounded exponential-backoff retries, per-server circuit
+  breaking, and stale-snapshot fallback;
+- :mod:`repro.cluster.comm` — barrier/collective deadlines that raise a
+  typed :class:`CommTimeout` instead of hanging;
+- :mod:`repro.dist.mp` — worker crashes and stalls at a given iteration,
+  detected by the master's heartbeat and healed by re-partitioning the
+  dead worker's shard across survivors.
+
+Determinism: the plan owns its own RNG streams (seeded at construction),
+so a fixed plan produces a fixed fault sequence, independent of the model
+RNG streams. An *empty* plan (no faults configured) is guaranteed to be a
+no-op: every consumer bypasses the fault paths entirely, so runs are
+bit-identical to a build without this module.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+
+# -- typed failures ---------------------------------------------------------
+
+
+class FaultError(RuntimeError):
+    """Base class for failures surfaced by the fault-tolerance layer."""
+
+
+class CommTimeout(FaultError):
+    """A barrier/collective deadline expired waiting on a rank."""
+
+    def __init__(self, op: str, worker: int, lag: float, timeout: float) -> None:
+        self.op = op
+        self.worker = worker
+        self.lag = lag
+        self.timeout = timeout
+        lag_s = "inf" if math.isinf(lag) else f"{lag:.3g}s"
+        super().__init__(
+            f"{op}: worker {worker} lagged {lag_s} past the {timeout:.3g}s deadline"
+        )
+
+
+class DKVTimeout(FaultError):
+    """A DKV batch exhausted its retries and stale fallback was disabled."""
+
+    def __init__(self, server: int, attempts: int) -> None:
+        self.server = server
+        self.attempts = attempts
+        super().__init__(
+            f"DKV server {server} unresponsive after {attempts} attempts"
+        )
+
+
+class WorkerCrashed(FaultError):
+    """One or more worker processes died (or were fenced as dead)."""
+
+    def __init__(self, workers: Sequence[int], stalled: bool = False) -> None:
+        self.workers = tuple(sorted(workers))
+        self.stalled = stalled
+        kind = "stalled past heartbeat deadline" if stalled else "crashed"
+        super().__init__(f"worker(s) {list(self.workers)} {kind}")
+
+
+# -- fault event types ------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ServerStall:
+    """DKV server ``server`` is unresponsive during an iteration window.
+
+    ``flaky_attempts > 0`` models transient slowness instead of a hard
+    stall: within the window, retry attempt ``flaky_attempts`` (0-based)
+    and later succeed — so a bounded backoff ladder rides it out.
+    """
+
+    server: int
+    start: int
+    duration: int = 1
+    flaky_attempts: int = 0
+
+    def __post_init__(self) -> None:
+        if self.server < 0:
+            raise ValueError("server must be >= 0")
+        if self.start < 0 or self.duration < 1:
+            raise ValueError("need start >= 0 and duration >= 1")
+        if self.flaky_attempts < 0:
+            raise ValueError("flaky_attempts must be >= 0")
+
+    def blocks(self, iteration: int, attempt: int) -> bool:
+        if not self.start <= iteration < self.start + self.duration:
+            return False
+        return self.flaky_attempts == 0 or attempt < self.flaky_attempts
+
+
+@dataclass(frozen=True)
+class LinkDegradation:
+    """Degrade traffic touching ``node`` (``-1`` = every node) during a
+    simulated-time window: latency multiplied, bandwidth divided."""
+
+    node: int = -1
+    start: float = 0.0
+    duration: float = math.inf
+    latency_factor: float = 1.0
+    bandwidth_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.latency_factor < 1.0:
+            raise ValueError("latency_factor must be >= 1")
+        if not 0.0 < self.bandwidth_factor <= 1.0:
+            raise ValueError("bandwidth_factor must be in (0, 1]")
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+
+    def active(self, node: int, now: float) -> bool:
+        if self.node >= 0 and self.node != node:
+            return False
+        return self.start <= now < self.start + self.duration
+
+
+@dataclass(frozen=True)
+class WorkerCrash:
+    """Worker process ``worker`` dies when it begins iteration ``iteration``."""
+
+    worker: int
+    iteration: int
+
+    def __post_init__(self) -> None:
+        if self.worker < 0 or self.iteration < 0:
+            raise ValueError("worker and iteration must be >= 0")
+
+
+@dataclass(frozen=True)
+class WorkerStall:
+    """Worker ``worker`` stalls ``seconds`` at iteration ``iteration``
+    (real seconds in the multiprocess backend, simulated lag elsewhere)."""
+
+    worker: int
+    iteration: int
+    seconds: float
+
+    def __post_init__(self) -> None:
+        if self.worker < 0 or self.iteration < 0:
+            raise ValueError("worker and iteration must be >= 0")
+        if self.seconds < 0:
+            raise ValueError("seconds must be >= 0")
+
+
+# -- the plan ---------------------------------------------------------------
+
+
+class FaultPlan:
+    """A seeded, deterministic schedule of faults.
+
+    Args:
+        seed: seed of the plan's private RNG streams (RDMA failure draws).
+        server_stalls: DKV server stall windows.
+        link_faults: fabric latency/bandwidth degradation windows.
+        worker_crashes: process deaths at a given iteration.
+        worker_stalls: process stalls at a given iteration.
+        rdma_failure_rate: i.i.d. probability that a posted RDMA op fails
+            at the transport level (retried by the DKV client).
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        server_stalls: Iterable[ServerStall] = (),
+        link_faults: Iterable[LinkDegradation] = (),
+        worker_crashes: Iterable[WorkerCrash] = (),
+        worker_stalls: Iterable[WorkerStall] = (),
+        rdma_failure_rate: float = 0.0,
+    ) -> None:
+        if not 0.0 <= rdma_failure_rate < 1.0:
+            raise ValueError("rdma_failure_rate must be in [0, 1)")
+        self.seed = int(seed)
+        self.server_stalls = tuple(server_stalls)
+        self.link_faults = tuple(link_faults)
+        self.worker_crashes = tuple(worker_crashes)
+        self.worker_stalls = tuple(worker_stalls)
+        self.rdma_failure_rate = float(rdma_failure_rate)
+        self._rdma_rng = np.random.default_rng(self.seed + 0x5DF0)
+        self.rdma_draws = 0
+
+    # -- classification ----------------------------------------------------
+
+    @property
+    def empty(self) -> bool:
+        """True when the plan schedules nothing — consumers must bypass
+        every fault path, keeping runs bit-identical to a plain build."""
+        return not (
+            self.server_stalls
+            or self.link_faults
+            or self.worker_crashes
+            or self.worker_stalls
+            or self.rdma_failure_rate > 0.0
+        )
+
+    # -- DKV server stalls --------------------------------------------------
+
+    def server_stalled(self, server: int, iteration: int, attempt: int = 0) -> bool:
+        """Would attempt ``attempt`` against ``server`` time out now?"""
+        return any(
+            s.server == server and s.blocks(iteration, attempt)
+            for s in self.server_stalls
+        )
+
+    # -- fabric degradation -------------------------------------------------
+
+    def link_factors(self, src: int, dst: int, now: float) -> tuple[float, float]:
+        """(latency multiplier, bandwidth divisor) for a transfer between
+        ``src`` and ``dst`` at simulated time ``now``. Overlapping faults
+        compose multiplicatively."""
+        lat = 1.0
+        bw = 1.0
+        for f in self.link_faults:
+            if f.active(src, now) or f.active(dst, now):
+                lat *= f.latency_factor
+                bw *= f.bandwidth_factor
+        return lat, bw
+
+    # -- RDMA op failures ---------------------------------------------------
+
+    def rdma_op_fails(self) -> bool:
+        """Deterministic Bernoulli draw from the plan's private stream."""
+        if self.rdma_failure_rate <= 0.0:
+            return False
+        self.rdma_draws += 1
+        return bool(self._rdma_rng.random() < self.rdma_failure_rate)
+
+    # -- worker lifecycle ---------------------------------------------------
+
+    def crash_due(self, worker: int, iteration: int) -> bool:
+        """Should ``worker`` die on entering ``iteration``?"""
+        return any(
+            c.worker == worker and c.iteration == iteration
+            for c in self.worker_crashes
+        )
+
+    def worker_stall_seconds(self, worker: int, iteration: int) -> float:
+        """Total injected stall for ``worker`` at ``iteration``."""
+        return sum(
+            s.seconds
+            for s in self.worker_stalls
+            if s.worker == worker and s.iteration == iteration
+        )
+
+    def max_worker_lag(self, iteration: int) -> tuple[int, float]:
+        """(worker, lag seconds) of the worst laggard at ``iteration``.
+
+        A crashed worker lags forever (``inf``); a stalled one lags its
+        stall. Used by :class:`~repro.cluster.comm.Communicator` deadlines.
+        """
+        worst = (-1, 0.0)
+        for c in self.worker_crashes:
+            if c.iteration <= iteration:
+                return c.worker, math.inf
+        for s in self.worker_stalls:
+            if s.iteration == iteration and s.seconds > worst[1]:
+                worst = (s.worker, s.seconds)
+        return worst
+
+    # -- display ------------------------------------------------------------
+
+    def describe(self) -> str:
+        if self.empty:
+            return "FaultPlan(empty)"
+        parts = [f"seed={self.seed}"]
+        if self.server_stalls:
+            parts.append(f"{len(self.server_stalls)} server stall(s)")
+        if self.link_faults:
+            parts.append(f"{len(self.link_faults)} link fault(s)")
+        if self.worker_crashes:
+            parts.append(f"{len(self.worker_crashes)} worker crash(es)")
+        if self.worker_stalls:
+            parts.append(f"{len(self.worker_stalls)} worker stall(s)")
+        if self.rdma_failure_rate:
+            parts.append(f"rdma_failure_rate={self.rdma_failure_rate:g}")
+        return "FaultPlan(" + ", ".join(parts) + ")"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return self.describe()
+
+
+def chaos_plan(
+    seed: int = 0,
+    n_workers: int = 4,
+    crash_iteration: int = 5,
+    stall_server: int = 0,
+    stall_start: int = 2,
+    stall_duration: int = 2,
+    rdma_failure_rate: float = 0.05,
+) -> FaultPlan:
+    """A canonical chaos drill: one worker crash, one DKV server stall,
+    and a background RDMA failure rate — the acceptance scenario for the
+    chaos tests and the ``repro chaos`` CLI drill."""
+    if n_workers < 2:
+        raise ValueError("chaos drill needs >= 2 workers to survive a crash")
+    rng = np.random.default_rng(seed)
+    victim = int(rng.integers(n_workers))
+    return FaultPlan(
+        seed=seed,
+        server_stalls=(ServerStall(stall_server, stall_start, stall_duration),),
+        worker_crashes=(WorkerCrash(victim, crash_iteration),),
+        rdma_failure_rate=rdma_failure_rate,
+    )

@@ -337,6 +337,24 @@ class Resource:
             self.release()
 
 
+def any_of(sim: Simulator, events: Iterable[Event]) -> Event:
+    """An event that fires with the first input's value (the others are
+    left pending). The building block for racing an operation against a
+    timeout — how the fault layer models "give up after T seconds"."""
+    events = list(events)
+    out = Event(sim, name="any_of")
+    if not events:
+        raise SimulationError("any_of needs at least one event")
+
+    def on_fire(ev: Event) -> None:
+        if not out.fired:
+            out.trigger(ev.value)
+
+    for e in events:
+        e.add_callback(on_fire)
+    return out
+
+
 def all_of(sim: Simulator, events: Iterable[Event]) -> Event:
     """An event that fires (with the list of values) when all inputs fired."""
     events = list(events)

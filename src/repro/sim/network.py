@@ -21,9 +21,12 @@ latency, measured by ``qperf`` in the paper's Figure 5).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import TYPE_CHECKING, Any, Optional
 
 from repro.sim.core import Event, Process, ProcessGen, Resource, Simulator, Timeout
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults import FaultPlan
 
 
 @dataclass(frozen=True)
@@ -105,7 +108,13 @@ class Link:
 class Network:
     """A cluster fabric of ``n_nodes`` NICs behind a non-blocking switch."""
 
-    def __init__(self, sim: Simulator, n_nodes: int, params: Optional[NetworkParams] = None) -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        n_nodes: int,
+        params: Optional[NetworkParams] = None,
+        faults: Optional["FaultPlan"] = None,
+    ) -> None:
         if n_nodes < 1:
             raise ValueError("need at least one node")
         self.sim = sim
@@ -113,6 +122,9 @@ class Network:
         self.nics = [Nic(sim, i, self.params) for i in range(n_nodes)]
         self.log: list[Message] = []
         self.record_log = False
+        # Link degradation windows; None or an empty plan leaves the
+        # transfer math untouched (bit-identical clocks).
+        self.faults = None if faults is None or faults.empty else faults
 
     @property
     def n_nodes(self) -> int:
@@ -149,6 +161,15 @@ class Network:
         # cycle of waits can form.
         p = self.params
         ser = p.serialization_time(msg.nbytes)
+        latency = p.latency
+        if self.faults is not None:
+            # Degradation window sampled at submit time: latency spikes
+            # multiply the wire latency, bandwidth loss stretches
+            # serialization (and therefore port occupancy — degraded links
+            # back up the NIC queues exactly like real congestion).
+            lat_f, bw_f = self.faults.link_factors(msg.src, msg.dst, self.sim.now)
+            ser /= bw_f
+            latency *= lat_f
         if msg.src == msg.dst:
             # Local copy: memcpy time, no wire latency, no port usage.
             yield Timeout(ser * 0.5)
@@ -165,7 +186,7 @@ class Network:
             src_nic.bytes_sent += msg.nbytes
             src_nic.messages_sent += 1
             dst_nic.bytes_received += msg.nbytes
-            yield Timeout(p.latency)
+            yield Timeout(latency)
         msg.t_complete = self.sim.now
         if self.record_log:
             self.log.append(msg)

@@ -20,15 +20,21 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.sim.core import Event, ProcessGen, Simulator, Timeout, all_of
 from repro.sim.network import Network
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults import FaultPlan
 
 #: Size of the request packet an RDMA READ sends to the responder NIC.
 READ_REQUEST_BYTES = 28
 #: Size of an ACK packet (RDMA WRITE completion / READ response header).
 ACK_BYTES = 12
+#: A failed op surfaces its error CQE after this many wire latencies —
+#: the transport-level retransmission window before the NIC gives up.
+FAILURE_TIMEOUT_LATENCIES = 8.0
 
 
 class RdmaOpType(enum.Enum):
@@ -47,6 +53,9 @@ class RdmaOp:
     completion: Event
     t_posted: float
     t_completed: float = float("nan")
+    #: True when the op surfaced an error CQE (injected transport fault);
+    #: the payload never moved and the caller must repost.
+    failed: bool = False
 
     @property
     def elapsed(self) -> float:
@@ -78,10 +87,17 @@ class QueuePair:
 class RdmaEngine:
     """Factory for queue pairs over one :class:`~repro.sim.network.Network`."""
 
-    def __init__(self, sim: Simulator, network: Network) -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        faults: Optional["FaultPlan"] = None,
+    ) -> None:
         self.sim = sim
         self.network = network
         self.ops: int = 0
+        self.failed_ops: int = 0
+        self.faults = None if faults is None or faults.empty else faults
 
     def queue_pair(self, local: int, remote: int) -> QueuePair:
         return QueuePair(self, local, remote)
@@ -103,6 +119,15 @@ class RdmaEngine:
 
     def _op_proc(self, op: RdmaOp) -> ProcessGen:
         net = self.network
+        if self.faults is not None and self.faults.rdma_op_fails():
+            # Transport fault: the NIC retries internally, then raises an
+            # error CQE. The payload never moves; the caller reposts.
+            op.failed = True
+            self.failed_ops += 1
+            yield Timeout(net.params.latency * FAILURE_TIMEOUT_LATENCIES)
+            op.t_completed = self.sim.now
+            op.completion.trigger(op)
+            return op
         if op.op_type is RdmaOpType.READ:
             # Request packet to responder NIC, payload streamed back.
             req = net.transfer(op.initiator, op.target, READ_REQUEST_BYTES, tag="rdma-read-req")

@@ -5,7 +5,13 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core.checkpoint import load_checkpoint, save_checkpoint
+from repro.core.checkpoint import (
+    CheckpointError,
+    load_checkpoint,
+    load_state_checkpoint,
+    save_checkpoint,
+    save_state_checkpoint,
+)
 from repro.core.sampler import AMMSBSampler
 from repro.graph.split import split_heldout
 
@@ -79,3 +85,122 @@ class TestCheckpoint:
         np.savez_compressed(str(ckpt), _meta=meta, **arrays)
         with pytest.raises(ValueError):
             load_checkpoint(ckpt, graph)
+
+
+class TestAtomicWrite:
+    def test_no_temp_files_left_behind(self, planted, config, tmp_path):
+        graph, _ = planted
+        s = AMMSBSampler(graph, config)
+        save_checkpoint(tmp_path / "a.npz", s)
+        save_checkpoint(tmp_path / "a.npz", s)  # overwrite in place
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["a.npz"]
+
+    def test_overwrite_is_all_or_nothing(self, planted, config, tmp_path):
+        """An interrupted save must leave the previous checkpoint intact.
+
+        Simulated by making the final rename fail: the target directory
+        content is unchanged and still loads.
+        """
+        graph, _ = planted
+        s = AMMSBSampler(graph, config)
+        ckpt = tmp_path / "b.npz"
+        save_checkpoint(ckpt, s)
+        good = ckpt.read_bytes()
+
+        import repro.core.checkpoint as cp
+
+        orig_replace = cp.os.replace
+
+        def boom(src, dst):
+            raise OSError("injected crash during rename")
+
+        cp.os.replace = boom
+        try:
+            s.run(1)
+            with pytest.raises(OSError):
+                save_checkpoint(ckpt, s)
+        finally:
+            cp.os.replace = orig_replace
+        assert ckpt.read_bytes() == good
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["b.npz"]
+        load_checkpoint(ckpt, graph)
+
+    def test_bare_name_gets_npz_suffix(self, planted, config, tmp_path):
+        graph, _ = planted
+        s = AMMSBSampler(graph, config)
+        written = save_checkpoint(tmp_path / "bare", s)
+        assert written.name == "bare.npz"
+        load_checkpoint(written, graph)
+
+
+class TestCheckpointErrors:
+    def test_missing_file(self, planted, tmp_path):
+        graph, _ = planted
+        path = tmp_path / "missing.npz"
+        with pytest.raises(CheckpointError, match="does not exist") as ei:
+            load_checkpoint(path, graph)
+        assert ei.value.path == path
+
+    def test_truncated_archive(self, planted, config, tmp_path):
+        graph, _ = planted
+        s = AMMSBSampler(graph, config)
+        ckpt = tmp_path / "t.npz"
+        save_checkpoint(ckpt, s)
+        blob = ckpt.read_bytes()
+        ckpt.write_bytes(blob[: len(blob) // 2])
+        with pytest.raises(CheckpointError, match=str(ckpt)):
+            load_checkpoint(ckpt, graph)
+
+    def test_garbage_file(self, planted, tmp_path):
+        graph, _ = planted
+        ckpt = tmp_path / "g.npz"
+        ckpt.write_bytes(b"this is not a zip archive")
+        with pytest.raises(CheckpointError, match="corrupt"):
+            load_checkpoint(ckpt, graph)
+
+    def test_missing_array_key(self, planted, config, tmp_path):
+        import json
+
+        graph, _ = planted
+        s = AMMSBSampler(graph, config)
+        ckpt = tmp_path / "k.npz"
+        save_checkpoint(ckpt, s)
+        with np.load(str(ckpt)) as data:
+            meta = str(data["_meta"])
+            arrays = {k: data[k] for k in data.files if k not in ("_meta", "pi")}
+        np.savez_compressed(str(ckpt), _meta=meta, **arrays)
+        with pytest.raises(CheckpointError, match="'pi'"):
+            load_checkpoint(ckpt, graph)
+
+    def test_missing_meta(self, planted, tmp_path):
+        graph, _ = planted
+        ckpt = tmp_path / "m.npz"
+        np.savez_compressed(str(ckpt), pi=np.zeros((2, 2)))
+        with pytest.raises(CheckpointError, match="_meta"):
+            load_checkpoint(ckpt, graph)
+
+    def test_error_is_a_value_error(self, planted, tmp_path):
+        graph, _ = planted
+        with pytest.raises(ValueError):  # backward-compatible supertype
+            load_checkpoint(tmp_path / "x.npz", graph)
+
+
+class TestStateCheckpoint:
+    def test_round_trip(self, planted, config, tmp_path):
+        graph, _ = planted
+        s = AMMSBSampler(graph, config)
+        s.run(3)
+        path = save_state_checkpoint(tmp_path / "st.npz", s.state, 3, config)
+        state, iteration, cfg = load_state_checkpoint(path)
+        assert iteration == 3 and cfg == config
+        np.testing.assert_array_equal(state.pi, s.state.pi)
+        np.testing.assert_array_equal(state.phi_sum, s.state.phi_sum)
+        np.testing.assert_array_equal(state.theta, s.state.theta)
+
+    def test_typed_errors(self, tmp_path):
+        with pytest.raises(CheckpointError, match="does not exist"):
+            load_state_checkpoint(tmp_path / "nope.npz")
+        bad = tmp_path / "bad.npz"
+        bad.write_bytes(b"junk")
+        with pytest.raises(CheckpointError, match="corrupt"):
+            load_state_checkpoint(bad)

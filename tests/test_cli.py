@@ -107,3 +107,14 @@ class TestDetectCheckpointing:
                    str(tmp_path / "c2.txt")])
         assert rc == 0
         assert (tmp_path / "c2.txt").exists()
+
+
+class TestChaos:
+    def test_drill_reports_recovery(self, capsys):
+        rc = main(["chaos", "--vertices", "120", "-k", "3",
+                   "--workers", "3", "--iterations", "6", "--seed", "2026"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "re-partitioned across survivors" in out
+        assert "drill passed" in out
+        assert "stale_batches" in out
