@@ -9,7 +9,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core import gradients
+from repro.core import gradients, kernels
 
 
 @pytest.fixture(scope="module")
@@ -45,15 +45,61 @@ def test_phi_update_kernel(benchmark, phi_workload):
     assert (out > 0).all()
 
 
-def test_theta_gradient_kernel(benchmark):
+def test_phi_gradient_kernel_fused(benchmark, phi_workload):
+    pi_a, phi_sum, pi_b, y, beta, mask = phi_workload
+    backend = kernels.get_backend("fused")
+    ws = kernels.KernelWorkspace()
+    grad = benchmark(
+        backend.phi_gradient_sum,
+        pi_a, phi_sum, pi_b, y, beta, 1e-4, mask, workspace=ws,
+    )
+    assert grad.shape == pi_a.shape
+    elements = pi_a.shape[0] * y.shape[1] * pi_a.shape[1]
+    benchmark.extra_info["kernel_elements"] = elements
+
+
+def test_phi_update_kernel_fused(benchmark, phi_workload):
+    pi_a, phi_sum, pi_b, y, beta, mask = phi_workload
+    rng = np.random.default_rng(1)
+    backend = kernels.get_backend("fused")
+    ws = kernels.KernelWorkspace()
+    phi = pi_a * phi_sum[:, None]
+    grad = np.array(
+        backend.phi_gradient_sum(
+            pi_a, phi_sum, pi_b, y, beta, 1e-4, mask, workspace=ws
+        )
+    )
+    noise = rng.standard_normal(phi.shape)
+    out = benchmark(
+        backend.update_phi, phi, grad, 0.01, 0.1, 100.0, noise, workspace=ws
+    )
+    assert (out > 0).all()
+
+
+def _theta_workload():
     rng = np.random.default_rng(2)
     e, k = 512, 128
     pi_a = rng.dirichlet(np.ones(k), size=e)
     pi_b = rng.dirichlet(np.ones(k), size=e)
     y = (rng.random(e) < 0.5).astype(np.int64)
     theta = rng.gamma(3.0, 1.0, size=(k, 2)) + 0.5
+    return pi_a, pi_b, y, theta
+
+
+def test_theta_gradient_kernel(benchmark):
+    pi_a, pi_b, y, theta = _theta_workload()
     grad = benchmark(gradients.theta_gradient_sum, pi_a, pi_b, y, theta, 1e-4)
-    assert grad.shape == (k, 2)
+    assert grad.shape == (theta.shape[0], 2)
+
+
+def test_theta_gradient_kernel_fused(benchmark):
+    pi_a, pi_b, y, theta = _theta_workload()
+    backend = kernels.get_backend("fused")
+    ws = kernels.KernelWorkspace()
+    grad = benchmark(
+        backend.theta_gradient_weighted, pi_a, pi_b, y, theta, 1e-4, workspace=ws
+    )
+    assert grad.shape == (theta.shape[0], 2)
 
 
 def test_perplexity_kernel(benchmark):

@@ -47,3 +47,18 @@ class Timer:
 
     def __exit__(self, *exc) -> None:
         self.elapsed = time.perf_counter() - self.start
+
+
+def best_of(fn, repeats: int = 5, inner: int = 5) -> float:
+    """Best-of-``repeats`` mean seconds of ``inner`` calls to ``fn``.
+
+    Taking the minimum over repeats rejects scheduler noise; averaging the
+    inner loop amortizes the perf_counter overhead for fast kernels.
+    """
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(inner):
+            fn()
+        best = min(best, (time.perf_counter() - start) / inner)
+    return best

@@ -1,0 +1,274 @@
+"""Kernel-backend benchmark: fused vs reference, machine-readable.
+
+``run_kernel_bench`` times the three hot-path kernels (phi gradient, phi
+update, weighted theta gradient) under both registered backends on the
+acceptance workload (m=256, n=32, K=128 for phi; E=8192 for theta), plus
+an end-to-end sequential sampler run per backend, and returns a JSON-ready
+report: per-kernel elements/sec, sampler iterations/sec, and
+fused-over-reference speedups.
+
+``compare_reports`` implements ``repro bench-check``: given the committed
+baseline (``BENCH_kernels.json``) and a fresh run, it flags any speedup
+ratio that regressed by more than ``threshold`` (relative). Speedup ratios
+— not absolute throughput — are compared, so the check is stable across
+machines of different speed.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.bench.harness import best_of
+
+SCHEMA = "repro-kernel-bench/1"
+
+#: per-kernel speedup keys checked by ``compare_reports``.
+TRACKED_SPEEDUPS = (
+    ("kernels", "phi_gradient"),
+    ("kernels", "phi_update"),
+    ("kernels", "theta_gradient"),
+    ("sampler", "end_to_end"),
+)
+
+
+def _phi_workload(rng: np.random.Generator, m: int, n: int, k: int):
+    pi_a = rng.dirichlet(np.ones(k), size=m)
+    phi_sum = rng.gamma(5.0, 1.0, size=m) + 1.0
+    pi_b = rng.dirichlet(np.ones(k), size=(m, n))
+    y = rng.random((m, n)) < 0.1
+    beta = rng.uniform(0.1, 0.9, k)
+    mask = np.ones((m, n), dtype=bool)
+    return pi_a, phi_sum, pi_b, y, beta, mask
+
+
+def _theta_workload(rng: np.random.Generator, e: int, k: int):
+    pi_a = rng.dirichlet(np.ones(k), size=e)
+    pi_b = rng.dirichlet(np.ones(k), size=e)
+    y = (rng.random(e) < 0.5).astype(np.int64)
+    theta = rng.gamma(3.0, 1.0, size=(k, 2)) + 0.5
+    weights = rng.uniform(0.5, 50.0, size=e)
+    return pi_a, pi_b, y, theta, weights
+
+
+def _bench_kernels(
+    backend_names: list[str], quick: bool, seed: int
+) -> dict[str, dict[str, Any]]:
+    from repro.core import kernels
+
+    rng = np.random.default_rng(seed)
+    # Workload sizes are identical in quick and full mode — only the
+    # repeat counts differ — so a quick CI run is comparable against a
+    # full-mode baseline (speedups shift systematically with size).
+    m, n, k = 256, 32, 128
+    e = 8192
+    repeats, inner = (3, 5) if quick else (5, 10)
+
+    pi_a, phi_sum, pi_b, y, beta, mask = _phi_workload(rng, m, n, k)
+    delta = 1e-4
+    t_pi_a, t_pi_b, t_y, theta, t_weights = _theta_workload(rng, e, k)
+    noise = rng.standard_normal((m, k))
+    phi = pi_a * phi_sum[:, None]
+
+    report: dict[str, dict[str, Any]] = {
+        "phi_gradient": {"elements": m * n * k},
+        "phi_update": {"elements": m * k},
+        "theta_gradient": {"elements": e * k},
+    }
+    for name in backend_names:
+        backend = kernels.get_backend(name)
+        ws = kernels.KernelWorkspace()
+        grad = backend.phi_gradient_sum(
+            pi_a, phi_sum, pi_b, y, beta, delta, mask=mask, workspace=ws
+        ).copy()
+
+        timings = {
+            "phi_gradient": best_of(
+                lambda: backend.phi_gradient_sum(
+                    pi_a, phi_sum, pi_b, y, beta, delta, mask=mask, workspace=ws
+                ),
+                repeats,
+                inner,
+            ),
+            "phi_update": best_of(
+                lambda: backend.update_phi(
+                    phi, grad, 0.01, 0.1, 100.0, noise, workspace=ws
+                ),
+                repeats,
+                inner,
+            ),
+            "theta_gradient": best_of(
+                lambda: backend.theta_gradient_weighted(
+                    t_pi_a, t_pi_b, t_y, theta, delta,
+                    weights=t_weights, workspace=ws,
+                ),
+                repeats,
+                inner,
+            ),
+        }
+        for kernel, seconds in timings.items():
+            report[kernel][name] = {
+                "seconds": seconds,
+                "elements_per_s": report[kernel]["elements"] / seconds,
+            }
+    return report
+
+
+def _bench_sampler(backend_names: list[str], quick: bool, seed: int) -> dict[str, Any]:
+    """End-to-end sequential sampler iterations/sec per backend."""
+    from dataclasses import replace
+
+    from repro.config import AMMSBConfig, StepSizeConfig
+    from repro.core.sampler import AMMSBSampler
+    from repro.graph.generators import planted_overlapping_graph
+
+    rng = np.random.default_rng(seed)
+    n_vertices = 800
+    iters = 8 if quick else 40
+    graph, _ = planted_overlapping_graph(
+        n_vertices, 8, memberships_per_vertex=2, rng=rng
+    )
+    # Large enough that the kernels dominate over graph/minibatch sampling.
+    base = AMMSBConfig(
+        n_communities=64,
+        mini_batch_vertices=128,
+        neighbor_sample_size=32,
+        step_phi=StepSizeConfig(a=0.05),
+        step_theta=StepSizeConfig(a=0.05),
+        seed=seed,
+    )
+    passes = 2 if quick else 3
+    out: dict[str, Any] = {"iterations": iters, "n_vertices": n_vertices}
+    samplers = {}
+    for name in backend_names:
+        cfg = replace(base, kernel_backend=name)
+        samplers[name] = AMMSBSampler(graph, cfg)
+        samplers[name].run(2)  # warm caches and workspace buffers
+    # Interleave the backends and keep each one's best pass, so a load
+    # spike hits all backends instead of biasing whichever ran under it.
+    best = {name: float("inf") for name in backend_names}
+    for _ in range(passes):
+        for name in backend_names:
+            start = time.perf_counter()
+            samplers[name].run(iters)
+            best[name] = min(best[name], time.perf_counter() - start)
+    for name in backend_names:
+        out[name] = {
+            "seconds": best[name],
+            "iterations_per_s": iters / best[name],
+        }
+    return out
+
+
+def _add_speedups(report: dict[str, Any]) -> None:
+    for kernel in report["kernels"].values():
+        if "reference" in kernel and "fused" in kernel:
+            kernel["speedup"] = (
+                kernel["reference"]["seconds"] / kernel["fused"]["seconds"]
+            )
+    sampler = report["sampler"]["end_to_end"]
+    if "reference" in sampler and "fused" in sampler:
+        sampler["speedup"] = (
+            sampler["reference"]["seconds"] / sampler["fused"]["seconds"]
+        )
+
+
+def run_kernel_bench(
+    quick: bool = False,
+    seed: int = 0,
+    backends: list[str] | None = None,
+) -> dict[str, Any]:
+    """Time every backend on the acceptance workloads; JSON-serializable."""
+    from repro.core import kernels
+
+    names = backends if backends is not None else kernels.available_backends()
+    report: dict[str, Any] = {
+        "schema": SCHEMA,
+        "quick": bool(quick),
+        "seed": int(seed),
+        "workloads": {
+            "phi": {"m": 256, "n": 32, "K": 128},
+            "theta": {"E": 8192, "K": 128},
+        },
+        "kernels": _bench_kernels(names, quick, seed),
+        "sampler": {"end_to_end": _bench_sampler(names, quick, seed)},
+    }
+    _add_speedups(report)
+    return report
+
+
+def report_rows(report: dict[str, Any]) -> list[dict[str, Any]]:
+    """Flatten a report for :func:`repro.bench.harness.format_table`."""
+    rows = []
+    for kernel, data in report["kernels"].items():
+        row: dict[str, Any] = {"kernel": kernel}
+        for name in ("reference", "fused"):
+            if name in data:
+                row[f"{name}_Melem/s"] = data[name]["elements_per_s"] / 1e6
+        if "speedup" in data:
+            row["speedup"] = data["speedup"]
+        rows.append(row)
+    sampler = report["sampler"]["end_to_end"]
+    row = {"kernel": "sampler end-to-end"}
+    for name in ("reference", "fused"):
+        if name in sampler:
+            row[f"{name}_Melem/s"] = ""
+            row[f"{name}_iters/s"] = sampler[name]["iterations_per_s"]
+    if "speedup" in sampler:
+        row["speedup"] = sampler["speedup"]
+    rows.append(row)
+    return rows
+
+
+def _speedup_at(report: dict[str, Any], path: tuple[str, str]) -> float | None:
+    node = report
+    for key in path:
+        node = node.get(key, {})
+    value = node.get("speedup")
+    return float(value) if value is not None else None
+
+
+def compare_reports(
+    baseline: dict[str, Any],
+    fresh: dict[str, Any],
+    threshold: float = 0.25,
+) -> list[dict[str, Any]]:
+    """Regressions: fresh speedup below ``(1 - threshold) *`` baseline.
+
+    Returns one row per tracked speedup with baseline/fresh/ratio and a
+    ``regressed`` flag; callers decide what to do with them.
+    """
+    rows = []
+    for path in TRACKED_SPEEDUPS:
+        base = _speedup_at(baseline, path)
+        now = _speedup_at(fresh, path)
+        if base is None or now is None:
+            continue
+        ratio = now / base
+        rows.append(
+            {
+                "metric": "/".join(path),
+                "baseline_speedup": base,
+                "fresh_speedup": now,
+                "ratio": ratio,
+                "regressed": ratio < 1.0 - threshold,
+            }
+        )
+    return rows
+
+
+def save_report(report: dict[str, Any], path: str | Path) -> None:
+    Path(path).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+
+def load_report(path: str | Path) -> dict[str, Any]:
+    report = json.loads(Path(path).read_text())
+    if report.get("schema") != SCHEMA:
+        raise ValueError(
+            f"{path}: expected schema {SCHEMA!r}, got {report.get('schema')!r}"
+        )
+    return report

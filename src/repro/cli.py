@@ -7,6 +7,10 @@ Subcommands:
 - ``repro generate`` — write a synthetic SNAP stand-in (or a planted
   graph) as an edge list;
 - ``repro benchmark`` — regenerate a paper figure/table on stdout;
+- ``repro bench-kernels`` — time the kernel backends (fused vs
+  reference) and write machine-readable ``BENCH_kernels.json``;
+- ``repro bench-check`` — rerun the kernel bench and compare against a
+  checked-in baseline JSON, failing on speedup regressions;
 - ``repro calibrate`` — print the Table III calibration report;
 - ``repro chaos`` — run the fault-injection drill (worker crash, DKV
   server stall, RDMA failures) against the multiprocess backend and
@@ -151,6 +155,49 @@ def _cmd_benchmark(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_kernels(args: argparse.Namespace) -> int:
+    from repro.bench import kernbench
+    from repro.bench.harness import format_table
+
+    report = kernbench.run_kernel_bench(quick=args.quick, seed=args.seed)
+    print(format_table(kernbench.report_rows(report), title="Kernel backends"))
+    if args.output:
+        kernbench.save_report(report, args.output)
+        print(f"wrote {args.output}", file=sys.stderr)
+    return 0
+
+
+def _cmd_bench_check(args: argparse.Namespace) -> int:
+    """Compare a fresh kernel bench against the committed baseline.
+
+    Exit codes: 0 = within threshold, 2 = regression, 3 = baseline
+    missing/unreadable. Speedup *ratios* are compared (fused over
+    reference), so the check holds across machines of different speed.
+    """
+    from repro.bench import kernbench
+    from repro.bench.harness import format_table
+
+    try:
+        baseline = kernbench.load_report(args.baseline)
+    except (OSError, ValueError) as exc:
+        print(f"cannot load baseline: {exc}", file=sys.stderr)
+        return 3
+    fresh = kernbench.run_kernel_bench(quick=args.quick, seed=args.seed)
+    if args.output:
+        kernbench.save_report(fresh, args.output)
+        print(f"wrote {args.output}", file=sys.stderr)
+    rows = kernbench.compare_reports(baseline, fresh, threshold=args.threshold)
+    print(format_table(rows, title=f"bench-check vs {args.baseline} "
+                                   f"(threshold {args.threshold:.0%})"))
+    regressed = [r for r in rows if r["regressed"]]
+    if regressed:
+        names = ", ".join(r["metric"] for r in regressed)
+        print(f"REGRESSION: {names}", file=sys.stderr)
+        return 2
+    print("ok: no kernel speedup regression", file=sys.stderr)
+    return 0
+
+
 def _cmd_calibrate(_args: argparse.Namespace) -> int:
     from repro.bench.calibrate import calibration_report, max_relative_error
     from repro.bench.harness import format_table
@@ -274,6 +321,27 @@ def build_parser() -> argparse.ArgumentParser:
                    help=f"one of {sorted(EXPERIMENTS)}")
     p.add_argument("--csv", default=None, help="also write the rows as CSV")
     p.set_defaults(func=_cmd_benchmark)
+
+    p = sub.add_parser("bench-kernels", help="time the kernel backends")
+    p.add_argument("--output", "-o", default=None,
+                   help="write the machine-readable report JSON here")
+    p.add_argument("--quick", action="store_true",
+                   help="smaller workloads / fewer repeats (for CI)")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_bench_kernels)
+
+    p = sub.add_parser("bench-check",
+                       help="compare kernel bench against a baseline JSON")
+    p.add_argument("--baseline", default="BENCH_kernels.json",
+                   help="checked-in baseline report (default BENCH_kernels.json)")
+    p.add_argument("--threshold", type=float, default=0.25,
+                   help="max tolerated relative speedup drop (default 0.25)")
+    p.add_argument("--quick", action="store_true",
+                   help="smaller workloads / fewer repeats (for CI)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--output", "-o", default=None,
+                   help="also write the fresh report JSON here (CI artifact)")
+    p.set_defaults(func=_cmd_bench_check)
 
     p = sub.add_parser("calibrate", help="print the Table III calibration report")
     p.set_defaults(func=_cmd_calibrate)

@@ -9,8 +9,14 @@ a time.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, replace
 from typing import Optional
+
+
+def _default_kernel_backend() -> str:
+    """Default backend, overridable via ``REPRO_KERNEL_BACKEND``."""
+    return os.environ.get("REPRO_KERNEL_BACKEND", "fused")
 
 
 @dataclass(frozen=True)
@@ -57,8 +63,14 @@ class AMMSBConfig:
         sample_window: number of posterior (pi, beta) samples averaged by
             the perplexity estimator (Eqn 7).
         dtype: storage precision for pi/phi_sum ("float32" matches the
-            paper's 32-bit arrays and halves the DKV footprint; kernels
-            upcast internally, so only storage precision changes).
+            paper's 32-bit arrays and halves the DKV footprint; the
+            ``fused`` backend also *computes* the hot path at this
+            precision, while ``reference`` upcasts internally).
+        kernel_backend: which :mod:`repro.core.kernels` backend every
+            engine uses for the SGRLD hot path ("fused" by default,
+            "reference" for the plain numpy functions). The default can
+            be overridden with the ``REPRO_KERNEL_BACKEND`` environment
+            variable; resolution happens at engine construction.
     """
 
     n_communities: int = 16
@@ -75,6 +87,7 @@ class AMMSBConfig:
     seed: int = 42
     sample_window: int = 32
     dtype: str = "float64"
+    kernel_backend: str = field(default_factory=_default_kernel_backend)
 
     def __post_init__(self) -> None:
         if self.n_communities < 1:
@@ -91,6 +104,8 @@ class AMMSBConfig:
             raise ValueError("alpha must be positive")
         if self.dtype not in ("float32", "float64"):
             raise ValueError("dtype must be 'float32' or 'float64'")
+        if not self.kernel_backend or not isinstance(self.kernel_backend, str):
+            raise ValueError("kernel_backend must be a non-empty backend name")
 
     @property
     def effective_alpha(self) -> float:

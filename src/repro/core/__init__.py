@@ -5,6 +5,9 @@ Layout:
 - :mod:`repro.core.state` — model state (theta/beta, pi/phi_sum);
 - :mod:`repro.core.gradients` — pure vectorized kernels shared by every
   engine (sequential, threaded, distributed);
+- :mod:`repro.core.kernels` — pluggable kernel backends (``reference``,
+  ``fused``) with reusable workspaces; every engine resolves its backend
+  here;
 - :mod:`repro.core.schedule` — SGRLD step-size schedules;
 - :mod:`repro.core.minibatch` — mini-batch strategies and their
   unbiasedness scale factors h(E_n);
@@ -16,6 +19,13 @@ Layout:
 """
 
 from repro.core.state import ModelState, init_state
+from repro.core.kernels import (
+    KernelBackend,
+    KernelWorkspace,
+    available_backends,
+    get_backend,
+    register_backend,
+)
 from repro.core.init import init_state_informed
 from repro.core.minibatch import Minibatch, MinibatchSampler, Stratum
 from repro.core.sampler import AMMSBSampler, IterationStats
@@ -33,6 +43,11 @@ from repro.core.general import GeneralMMSBSampler
 __all__ = [
     "ModelState",
     "init_state",
+    "KernelBackend",
+    "KernelWorkspace",
+    "available_backends",
+    "get_backend",
+    "register_backend",
     "init_state_informed",
     "Minibatch",
     "MinibatchSampler",

@@ -139,6 +139,7 @@ def theta_gradient_sum(
     y: np.ndarray,
     theta: np.ndarray,
     delta: float,
+    weights: np.ndarray | None = None,
 ) -> np.ndarray:
     """Sum over mini-batch edges of the theta gradient (Eqn 4), shape (K, 2).
 
@@ -151,20 +152,29 @@ def theta_gradient_sum(
         y: (E,) link indicators.
         theta: (K, 2).
         delta: background probability.
+        weights: optional (E,) per-edge h-scale weights. The gradient is
+            linear in the per-edge terms, so one weighted call over the
+            concatenated strata equals the per-stratum
+            ``sum_s scale_s * theta_gradient_sum(stratum_s)`` loop.
     """
+    y = np.asarray(y)
     beta = theta[:, 1] / theta.sum(axis=1)
     b_factor = bernoulli_factor(beta, y)  # (E, K)
     d_factor = delta_factor(delta, y)[:, None]  # (E, 1)
     f_diag = pi_a * pi_b * b_factor  # (E, K)
     z = (pi_a * (pi_b * b_factor + (1.0 - pi_b) * d_factor)).sum(axis=1)  # (E,)
     w = f_diag / np.maximum(z, EPS)[:, None]  # (E, K)
+    if weights is not None:
+        w = w * np.asarray(weights)[:, None]
 
     theta_row_sum = theta.sum(axis=1)  # (K,)
     w_total = w.sum(axis=0)  # (K,)
     grad = np.empty_like(theta)
     # i = 0: |1-0-y| = 1-y -> only non-link edges contribute the 1/theta term.
     # i = 1: |1-1-y| = y   -> only link edges contribute it.
-    w_y = w[y != 0].sum(axis=0) if np.any(y != 0) else np.zeros(theta.shape[0])
+    # Weighting by the 0/1 indicator sums the link rows without the
+    # data-dependent boolean-mask copy (non-link rows contribute exact 0s).
+    w_y = (w * (y != 0)[:, None]).sum(axis=0)
     w_not_y = w_total - w_y
     grad[:, 0] = w_not_y / np.maximum(theta[:, 0], EPS) - w_total / theta_row_sum
     grad[:, 1] = w_y / np.maximum(theta[:, 1], EPS) - w_total / theta_row_sum

@@ -1,0 +1,381 @@
+"""Pluggable kernel backends for the SGRLD hot path.
+
+The per-iteration numerics (Eqns 3-6) are behind a small registry so the
+engines can swap implementations without touching orchestration code:
+
+- ``reference`` — the plain vectorized functions of
+  :mod:`repro.core.gradients`, unchanged. This is the correctness contract:
+  every other backend must match it (bit-for-bit in float64, to tolerance
+  in float32 — see ``tests/test_kernels.py``).
+- ``fused`` (default) — computes the shared intermediates (``B_k``, ``D``,
+  ``f``, ``Z``) once per mini-batch into a reusable preallocated
+  :class:`KernelWorkspace` using ``out=``/in-place ufunc calls, so the
+  roughly six ``(m, n, K)`` temporaries the reference path allocates per
+  phi step disappear. The float64 arithmetic replays the reference
+  operation order exactly (same ufuncs, same association), so results are
+  bit-identical; only the allocations go away.
+
+Dtype policy: the compute dtype is the dtype of the ``pi`` inputs. A
+float32 state (the paper's 32-bit arrays) therefore runs the entire
+``(m, n, K)`` / ``(E, K)`` hot path in float32 — scalars, ``beta``,
+noise, and scale factors are cast down once per call into small workspace
+buffers instead of silently upcasting the big arrays to float64. The tiny
+``(K, 2)`` theta update stays at theta's own (float64) precision.
+
+Backend selection is wired through ``AMMSBConfig.kernel_backend`` and the
+``REPRO_KERNEL_BACKEND`` environment variable; every engine resolves its
+backend with :func:`get_backend` at construction time.
+
+Workspace lifecycle: one :class:`KernelWorkspace` per sequential sampler /
+distributed worker, one per *thread* in :mod:`repro.parallel`
+(kernel buffers are not thread-safe; threads must not share one).
+Returned gradient arrays are views into the workspace — valid until the
+same kernel is called again on the same workspace, which is exactly the
+lifetime the engines need (consume the gradient in the same iteration).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.core import gradients
+from repro.core.gradients import EPS
+
+
+def _compute_dtype(*arrays: np.ndarray) -> np.dtype:
+    """float32 iff every pi-like input is float32; float64 otherwise."""
+    if all(a.dtype == np.float32 for a in arrays):
+        return np.dtype(np.float32)
+    return np.dtype(np.float64)
+
+
+def _z_floor(dtype: np.dtype) -> float:
+    """Normalizer floor: EPS underflows to 0 in float32, so use tiny."""
+    if dtype == np.float64:
+        return EPS
+    return float(np.finfo(dtype).tiny)
+
+
+class KernelWorkspace:
+    """Named, reusable scratch buffers for the fused kernels.
+
+    Buffers are keyed by name and grown (never shrunk) to the largest
+    size requested, so steady-state iterations perform zero large
+    allocations regardless of mini-batch size jitter. ``array`` returns a
+    contiguous view of the capacity buffer reshaped to the requested
+    shape; a dtype change (e.g. float64 -> float32 run) reallocates.
+    """
+
+    def __init__(self) -> None:
+        self._buffers: dict[str, np.ndarray] = {}
+
+    def array(self, name: str, shape: tuple[int, ...], dtype) -> np.ndarray:
+        dtype = np.dtype(dtype)
+        size = int(math.prod(shape))
+        buf = self._buffers.get(name)
+        if buf is None or buf.dtype != dtype or buf.size < size:
+            buf = np.empty(max(size, 1), dtype=dtype)
+            self._buffers[name] = buf
+        return buf[:size].reshape(shape)
+
+    def cast(self, name: str, values: np.ndarray, dtype) -> np.ndarray:
+        """Cast ``values`` into a workspace buffer iff dtypes differ."""
+        values = np.asarray(values)
+        if values.dtype == np.dtype(dtype):
+            return values
+        out = self.array(name, values.shape, dtype)
+        np.copyto(out, values, casting="same_kind")
+        return out
+
+    def buffers(self) -> dict[str, np.ndarray]:
+        """Snapshot of the live buffers (for the dtype-tracking tests)."""
+        return dict(self._buffers)
+
+    @property
+    def nbytes(self) -> int:
+        return sum(b.nbytes for b in self._buffers.values())
+
+
+class KernelBackend:
+    """A named bundle of the four SGRLD hot-path kernels.
+
+    All kernels accept an optional ``workspace``; backends that do not
+    need one (``reference``) ignore it.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        phi_gradient_sum: Callable[..., np.ndarray],
+        update_phi: Callable[..., np.ndarray],
+        theta_gradient_weighted: Callable[..., np.ndarray],
+        update_theta: Callable[..., np.ndarray],
+    ) -> None:
+        self.name = name
+        self.phi_gradient_sum = phi_gradient_sum
+        self.update_phi = update_phi
+        self.theta_gradient_weighted = theta_gradient_weighted
+        self.update_theta = update_theta
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"KernelBackend({self.name!r})"
+
+
+# -- reference backend: delegate to repro.core.gradients ---------------------
+
+
+def _ref_phi_gradient_sum(
+    pi_a, phi_sum_a, pi_b, y, beta, delta, mask=None, workspace=None
+):
+    return gradients.phi_gradient_sum(pi_a, phi_sum_a, pi_b, y, beta, delta, mask=mask)
+
+
+def _ref_update_phi(
+    phi_a, grad_sum, eps_t, alpha, scale, noise,
+    phi_floor=1e-12, phi_clip=1e6, workspace=None,
+):
+    return gradients.update_phi(
+        phi_a, grad_sum, eps_t, alpha, scale, noise,
+        phi_floor=phi_floor, phi_clip=phi_clip,
+    )
+
+
+def _ref_theta_gradient_weighted(
+    pi_a, pi_b, y, theta, delta, weights=None, workspace=None
+):
+    return gradients.theta_gradient_sum(pi_a, pi_b, y, theta, delta, weights=weights)
+
+
+def _ref_update_theta(
+    theta, grad_sum, eps_t, eta, scale, noise, theta_floor=1e-12, workspace=None
+):
+    return gradients.update_theta(
+        theta, grad_sum, eps_t, eta, scale, noise, theta_floor=theta_floor
+    )
+
+
+# -- fused backend: in-place, allocation-free, dtype-preserving ---------------
+
+
+def _bernoulli_factors_into(
+    ws: KernelWorkspace,
+    prefix: str,
+    y: np.ndarray,
+    beta: np.ndarray,
+    delta: float,
+    ct: np.dtype,
+    shape_bk: tuple[int, ...],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Fill workspace buffers with ``link`` mask, ``B_k`` and ``D``.
+
+    The factor values are identical to the reference
+    ``bernoulli_factor``/``delta_factor`` ``np.where`` results; two masked
+    ``copyto`` passes replace the fresh allocation.
+    """
+    link = ws.array(prefix + "link", y.shape, bool)
+    np.not_equal(y, 0, out=link)
+    notlink = ws.array(prefix + "notlink", y.shape, bool)
+    np.logical_not(link, out=notlink)
+
+    beta_c = ws.cast(prefix + "beta", np.asarray(beta), ct)
+    one_minus_beta = ws.array(prefix + "omb", beta_c.shape, ct)
+    np.subtract(1.0, beta_c, out=one_minus_beta)
+
+    cond = link if y.ndim == len(shape_bk) else link[..., None]
+    ncond = notlink if y.ndim == len(shape_bk) else notlink[..., None]
+    bfac = ws.array(prefix + "bfac", shape_bk, ct)
+    np.copyto(bfac, beta_c, where=cond)
+    np.copyto(bfac, one_minus_beta, where=ncond)
+
+    dfac = ws.array(prefix + "dfac", y.shape, ct)
+    np.copyto(dfac, ct.type(delta), where=link)
+    np.copyto(dfac, ct.type(1.0 - delta), where=notlink)
+    return link, bfac, dfac
+
+
+def _fused_phi_gradient_sum(
+    pi_a, phi_sum_a, pi_b, y, beta, delta, mask=None, workspace=None
+):
+    """Eqn 6 with zero ``(m, n, K)`` allocations.
+
+    Replays the reference arithmetic (same ufuncs, same association) into
+    workspace buffers, so float64 results are bit-identical.
+    """
+    ws = workspace if workspace is not None else KernelWorkspace()
+    pi_a = np.asarray(pi_a)
+    pi_b = np.asarray(pi_b)
+    y = np.asarray(y)
+    ct = _compute_dtype(pi_a, pi_b)
+    m, n, k = pi_b.shape
+    eps = _z_floor(ct)
+
+    _, bfac, dfac = _bernoulli_factors_into(ws, "phi_", y, beta, delta, ct, (m, n, k))
+
+    # f = pi_a[:, None, :] * (pi_b * B + (1 - pi_b) * D)
+    u = ws.array("phi_u", (m, n, k), ct)
+    np.subtract(1.0, pi_b, out=u)
+    u *= dfac[..., None]
+    f = ws.array("phi_f", (m, n, k), ct)
+    np.multiply(pi_b, bfac, out=f)
+    f += u
+    f *= pi_a[:, None, :]
+
+    z = ws.array("phi_z", (m, n), ct)
+    np.sum(f, axis=-1, out=z)
+    np.maximum(z, eps, out=z)
+    f /= z[..., None]  # f is now w
+
+    n_eff = ws.array("phi_neff", (m, 1), ct)
+    if mask is not None:
+        f *= mask[..., None]
+        n_eff_i = ws.array("phi_neff_i", (m, 1), np.int64)
+        np.sum(mask, axis=1, keepdims=True, out=n_eff_i)
+        np.divide(n_eff_i, phi_sum_a[:, None], out=n_eff, casting="same_kind")
+    else:
+        n_eff.fill(float(n))
+        n_eff /= phi_sum_a[:, None]
+
+    s = ws.array("phi_s", (m, k), ct)
+    np.sum(f, axis=1, out=s)
+    phi_a = ws.array("phi_phia", (m, k), ct)
+    np.multiply(pi_a, phi_sum_a[:, None], out=phi_a)
+    np.maximum(phi_a, eps, out=phi_a)
+    s /= phi_a
+    s -= n_eff
+    return s
+
+
+def _fused_update_phi(
+    phi_a, grad_sum, eps_t, alpha, scale, noise,
+    phi_floor=1e-12, phi_clip=1e6, workspace=None,
+):
+    """SGRLD phi update (Eqn 5) into workspace buffers."""
+    ws = workspace if workspace is not None else KernelWorkspace()
+    phi_a = np.asarray(phi_a)
+    ct = _compute_dtype(phi_a)
+    shape = phi_a.shape
+
+    if isinstance(scale, np.ndarray):
+        scale = ws.cast("up_scale", scale, ct)
+    noise = ws.cast("up_noise", np.asarray(noise), ct)
+    grad_sum = ws.cast("up_grad", np.asarray(grad_sum), ct)
+
+    # drift = 0.5 * eps_t * (alpha - phi_a + scale * grad_sum)
+    drift = ws.array("up_drift", shape, ct)
+    np.subtract(alpha, phi_a, out=drift, casting="same_kind")
+    tmp = ws.array("up_tmp", shape, ct)
+    np.multiply(scale, grad_sum, out=tmp, casting="same_kind")
+    drift += tmp
+    drift *= 0.5 * eps_t
+    # diffusion = sqrt(eps_t) * sqrt(max(phi_a, 0)) * noise
+    np.maximum(phi_a, 0.0, out=tmp)
+    np.sqrt(tmp, out=tmp)
+    tmp *= np.sqrt(eps_t)
+    tmp *= noise
+    drift += phi_a
+    drift += tmp
+    np.abs(drift, out=drift)
+    np.clip(drift, phi_floor, phi_clip, out=drift)
+    return drift
+
+
+def _fused_theta_gradient_weighted(
+    pi_a, pi_b, y, theta, delta, weights=None, workspace=None
+):
+    """Eqn 4, batched over all mini-batch edges with per-edge h-weights."""
+    ws = workspace if workspace is not None else KernelWorkspace()
+    pi_a = np.asarray(pi_a)
+    pi_b = np.asarray(pi_b)
+    y = np.asarray(y)
+    ct = _compute_dtype(pi_a, pi_b)
+    e, k = pi_a.shape
+    eps = _z_floor(ct)
+
+    theta_row_sum = theta.sum(axis=1)
+    beta = theta[:, 1] / theta_row_sum
+    link, bfac, dfac = _bernoulli_factors_into(ws, "th_", y, beta, delta, ct, (e, k))
+
+    # z = (pi_a * (pi_b * B + (1 - pi_b) * D)).sum(axis=1)
+    u = ws.array("th_u", (e, k), ct)
+    np.subtract(1.0, pi_b, out=u)
+    u *= dfac[:, None]
+    v = ws.array("th_v", (e, k), ct)
+    np.multiply(pi_b, bfac, out=v)
+    v += u
+    v *= pi_a
+    z = ws.array("th_z", (e,), ct)
+    np.sum(v, axis=1, out=z)
+    np.maximum(z, eps, out=z)
+
+    # w = (pi_a * pi_b * B) / z, per-edge weighted; v is free to reuse.
+    np.multiply(pi_a, pi_b, out=v)
+    v *= bfac
+    v /= z[:, None]
+    if weights is not None:
+        w_c = ws.cast("th_wts", np.asarray(weights), ct)
+        v *= w_c[:, None]
+
+    w_total = ws.array("th_wtot", (k,), ct)
+    np.sum(v, axis=0, out=w_total)
+    v *= link[:, None]
+    w_y = ws.array("th_wy", (k,), ct)
+    np.sum(v, axis=0, out=w_y)
+    w_not_y = ws.array("th_wny", (k,), ct)
+    np.subtract(w_total, w_y, out=w_not_y)
+
+    grad = np.empty_like(theta)
+    grad[:, 0] = w_not_y / np.maximum(theta[:, 0], EPS) - w_total / theta_row_sum
+    grad[:, 1] = w_y / np.maximum(theta[:, 1], EPS) - w_total / theta_row_sum
+    return grad
+
+
+#: theta is (K, 2) and always float64 — nothing to fuse at that size.
+_fused_update_theta = _ref_update_theta
+
+
+# -- registry ------------------------------------------------------------------
+
+_REGISTRY: dict[str, KernelBackend] = {}
+
+
+def register_backend(backend: KernelBackend) -> KernelBackend:
+    """Register (or replace) a backend under its name."""
+    _REGISTRY[backend.name] = backend
+    return backend
+
+
+def get_backend(name: str) -> KernelBackend:
+    """Look up a backend; raises with the known names on a miss."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown kernel backend {name!r}; available: {available_backends()}"
+        ) from None
+
+
+def available_backends() -> list[str]:
+    return sorted(_REGISTRY)
+
+
+register_backend(
+    KernelBackend(
+        "reference",
+        phi_gradient_sum=_ref_phi_gradient_sum,
+        update_phi=_ref_update_phi,
+        theta_gradient_weighted=_ref_theta_gradient_weighted,
+        update_theta=_ref_update_theta,
+    )
+)
+register_backend(
+    KernelBackend(
+        "fused",
+        phi_gradient_sum=_fused_phi_gradient_sum,
+        update_phi=_fused_update_phi,
+        theta_gradient_weighted=_fused_theta_gradient_weighted,
+        update_theta=_fused_update_theta,
+    )
+)

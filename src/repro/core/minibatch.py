@@ -58,6 +58,28 @@ class Stratum:
             raise ValueError("scale must be positive")
 
 
+def concat_strata(
+    strata: list["Stratum"],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Concatenated (pairs, labels, per-pair scales) over a stratum list.
+
+    The per-pair scale array carries each stratum's h-factor per edge, so
+    one weighted theta-gradient call over the concatenation equals the
+    per-stratum ``sum_s scale_s * grad_s`` loop — every engine batches its
+    strata through this helper in the same order, keeping the engines'
+    float-summation orders aligned.
+    """
+    if not strata:
+        z = np.zeros(0, dtype=np.int64)
+        return z.reshape(0, 2), z.astype(bool), z.astype(np.float64)
+    pairs = np.vstack([s.pairs for s in strata])
+    labels = np.concatenate([s.labels for s in strata])
+    scales = np.concatenate([
+        np.full(s.pairs.shape[0], s.scale) for s in strata
+    ])
+    return pairs, labels, scales
+
+
 @dataclass(frozen=True)
 class Minibatch:
     """One iteration's worth of sampled data."""
@@ -75,15 +97,7 @@ class Minibatch:
 
     def all_pairs(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Concatenated (pairs, labels, per-pair scales)."""
-        if not self.strata:
-            z = np.zeros(0, dtype=np.int64)
-            return z.reshape(0, 2), z.astype(bool), z.astype(np.float64)
-        pairs = np.vstack([s.pairs for s in self.strata])
-        labels = np.concatenate([s.labels for s in self.strata])
-        scales = np.concatenate([
-            np.full(s.pairs.shape[0], s.scale) for s in self.strata
-        ])
-        return pairs, labels, scales
+        return concat_strata(self.strata)
 
 
 @dataclass(frozen=True)
@@ -171,12 +185,11 @@ class MinibatchSampler:
         n = self.graph.n_vertices
         size = self.nonlink_stratum_size
         # Rejection-sample `size` non-neighbors of a, avoiding held-out pairs.
-        picked: list[int] = []
-        seen: set[int] = {a}
+        picked = np.zeros(0, dtype=np.int64)
         for _ in range(8):
-            if len(picked) >= size:
+            if picked.size >= size:
                 break
-            cand = rng.integers(0, n, size=2 * (size - len(picked)) + 8)
+            cand = rng.integers(0, n, size=2 * (size - picked.size) + 8)
             cand = cand[cand != a]
             pairs = np.column_stack([np.full(cand.size, a, dtype=np.int64), cand])
             linked = self.graph.has_edges(pairs)
@@ -184,15 +197,17 @@ class MinibatchSampler:
             hi = np.maximum(pairs[:, 0], pairs[:, 1])
             keys = lo * np.int64(n) + hi
             held = self._in_heldout(keys)
-            for b in cand[~linked & ~held]:
-                if int(b) not in seen:
-                    seen.add(int(b))
-                    picked.append(int(b))
-                    if len(picked) >= size:
-                        break
-        if not picked:
+            # Keep the first occurrence of each fresh vertex in candidate
+            # order — identical picks (and RNG stream) to a scalar loop.
+            valid = cand[~linked & ~held]
+            _, first = np.unique(valid, return_index=True)
+            fresh = valid[np.sort(first)]
+            if picked.size:
+                fresh = fresh[~np.isin(fresh, picked)]
+            picked = np.concatenate([picked, fresh[: size - picked.size]])
+        if not picked.size:
             return None
-        bs = np.array(picked, dtype=np.int64)
+        bs = picked
         pairs = np.column_stack([np.full(bs.size, a, dtype=np.int64), bs])
         # One of m partitions of a's non-links, coin probability 1/2:
         # h = N * m recovers the sum over all non-link pairs (see link

@@ -70,17 +70,17 @@ def link_prediction_auc(
     if not labels.any() or labels.all():
         raise ValueError("AUC needs both links and non-links")
     scores = link_probability(pi[pairs[:, 0]], pi[pairs[:, 1]], beta, delta)
-    # Rank-sum (Mann-Whitney) formulation, ties averaged.
+    # Rank-sum (Mann-Whitney) formulation, ties averaged: each tie group
+    # [start, end) of the sorted order gets rank 0.5*(start + end - 1) + 1.
     order = np.argsort(scores, kind="mergesort")
-    ranks = np.empty(len(scores))
     sorted_scores = scores[order]
-    i = 0
-    while i < len(scores):
-        j = i
-        while j + 1 < len(scores) and sorted_scores[j + 1] == sorted_scores[i]:
-            j += 1
-        ranks[order[i : j + 1]] = 0.5 * (i + j) + 1.0
-        i = j + 1
+    _, inverse, counts = np.unique(
+        sorted_scores, return_inverse=True, return_counts=True
+    )
+    ends = np.cumsum(counts)
+    starts = ends - counts
+    ranks = np.empty(len(scores))
+    ranks[order] = (0.5 * (starts + ends - 1) + 1.0)[inverse]
     n_pos = int(labels.sum())
     n_neg = len(labels) - n_pos
     rank_sum = float(ranks[labels].sum())

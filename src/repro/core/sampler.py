@@ -23,7 +23,7 @@ from typing import Callable, Optional
 import numpy as np
 
 from repro.config import AMMSBConfig
-from repro.core import gradients
+from repro.core import kernels
 from repro.core.minibatch import Minibatch, MinibatchSampler, NeighborSample
 from repro.core.perplexity import PerplexityEstimator
 from repro.core.state import ModelState, init_state
@@ -86,6 +86,8 @@ class AMMSBSampler:
             )
         self.minibatch_sampler = MinibatchSampler(graph, config, heldout_keys=heldout_keys)
         self.state = state if state is not None else init_state(graph.n_vertices, config, self.rng)
+        self.kernels = kernels.get_backend(config.kernel_backend)
+        self.workspace = kernels.KernelWorkspace()
         self.iteration = 0
         self.history: list[IterationStats] = []
 
@@ -104,7 +106,7 @@ class AMMSBSampler:
         phi_sum_a = self.state.phi_sum[vs]
         pi_b = self.state.pi[neighbor_sample.neighbors]
         beta = self.state.beta
-        grad = gradients.phi_gradient_sum(
+        grad = self.kernels.phi_gradient_sum(
             pi_a,
             phi_sum_a,
             pi_b,
@@ -112,13 +114,14 @@ class AMMSBSampler:
             beta,
             cfg.delta,
             mask=neighbor_sample.mask,
+            workspace=self.workspace,
         )
         counts = np.maximum(neighbor_sample.counts, 1)
         scale = self.graph.n_vertices / counts  # (m, 1), Eqn 5's N/|V_n|
         if noise is None:
             noise = self.noise_rng.standard_normal(pi_a.shape)
         phi_a = self.state.phi_rows(vs)
-        new_phi = gradients.update_phi(
+        new_phi = self.kernels.update_phi(
             phi_a,
             grad,
             eps_t=cfg.step_phi.at(self.iteration),
@@ -127,31 +130,40 @@ class AMMSBSampler:
             noise=noise,
             phi_floor=cfg.phi_floor,
             phi_clip=cfg.phi_clip,
+            workspace=self.workspace,
         )
         self.state.set_phi_rows(vs, new_phi)
 
     def update_beta_theta(
         self, minibatch: Minibatch, noise: Optional[np.ndarray] = None
     ) -> None:
-        """Stage: theta update (Eqn 3) from h-scaled stratum gradients."""
+        """Stage: theta update (Eqn 3) from h-scaled stratum gradients.
+
+        All strata are batched into one gather + one weighted kernel call;
+        the per-edge h-weights keep the mixed-strata estimator unbiased
+        (the gradient is linear in the per-edge terms).
+        """
         cfg = self.config
-        grad_total = np.zeros_like(self.state.theta)
-        for stratum in minibatch.strata:
-            pi_a = self.state.pi[stratum.pairs[:, 0]]
-            pi_b = self.state.pi[stratum.pairs[:, 1]]
-            grad = gradients.theta_gradient_sum(
-                pi_a, pi_b, stratum.labels.astype(np.int64), self.state.theta, cfg.delta
-            )
-            grad_total += stratum.scale * grad
+        pairs, labels, scales = minibatch.all_pairs()
+        grad_total = self.kernels.theta_gradient_weighted(
+            self.state.pi[pairs[:, 0]],
+            self.state.pi[pairs[:, 1]],
+            labels,
+            self.state.theta,
+            cfg.delta,
+            weights=scales,
+            workspace=self.workspace,
+        )
         if noise is None:
             noise = self.noise_rng.standard_normal(self.state.theta.shape)
-        self.state.theta = gradients.update_theta(
+        self.state.theta = self.kernels.update_theta(
             self.state.theta,
             grad_total,
             eps_t=cfg.step_theta.at(self.iteration),
             eta=cfg.eta,
             scale=1.0,
             noise=noise,
+            workspace=self.workspace,
         )
 
     # -- main loop -----------------------------------------------------------

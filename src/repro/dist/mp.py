@@ -55,8 +55,8 @@ from typing import Optional, Sequence, Union
 import numpy as np
 
 from repro.config import AMMSBConfig
-from repro.core import gradients
-from repro.core.minibatch import NeighborSample
+from repro.core import gradients, kernels
+from repro.core.minibatch import NeighborSample, concat_strata
 from repro.core.state import ModelState, init_state
 from repro.dist.master import MasterContext
 from repro.dist.partition import WorkerShard
@@ -104,6 +104,8 @@ def _worker_loop(
         # Same streams as WorkerContext, so backends agree bit-for-bit.
         rng = np.random.default_rng(config.seed + 1009 * (worker_id + 1))
         noise_rng = np.random.default_rng(config.seed + 2003 * (worker_id + 1))
+        backend = kernels.get_backend(config.kernel_backend)
+        workspace = kernels.KernelWorkspace()
         hk = (
             np.sort(np.asarray(heldout_keys, dtype=np.int64))
             if heldout_keys is not None and len(heldout_keys)
@@ -171,12 +173,13 @@ def _worker_loop(
                 pi_a = values[: vs.size, :-1]
                 phi_sum_a = values[: vs.size, -1]
                 pi_b = values[vs.size:, :-1].reshape(vs.size, -1, k)
-                grad = gradients.phi_gradient_sum(
-                    pi_a, phi_sum_a, pi_b, ns.labels, beta, config.delta, mask=ns.mask
+                grad = backend.phi_gradient_sum(
+                    pi_a, phi_sum_a, pi_b, ns.labels, beta, config.delta,
+                    mask=ns.mask, workspace=workspace,
                 )
                 counts = np.maximum(ns.counts, 1)
                 noise = noise_rng.standard_normal(pi_a.shape)
-                new_phi = gradients.update_phi(
+                new_phi = backend.update_phi(
                     pi_a * phi_sum_a[:, None],
                     grad,
                     eps_t=eps_t,
@@ -185,6 +188,7 @@ def _worker_loop(
                     noise=noise,
                     phi_floor=config.phi_floor,
                     phi_clip=config.phi_clip,
+                    workspace=workspace,
                 )
                 sums = new_phi.sum(axis=1)
                 pending = _PhiResult(
@@ -199,18 +203,24 @@ def _worker_loop(
                 res_send.put(("write_done", worker_id, seq, worker_id, None))
             elif op == "theta_partial":
                 _, _, theta = cmd
-                grad = np.zeros_like(theta)
                 assert shard is not None
-                for stratum in shard.strata:
-                    values = table[stratum.pairs.reshape(-1)]
-                    pi_pairs = values[:, :-1].reshape(len(stratum.pairs), 2, k)
-                    grad += stratum.scale * gradients.theta_gradient_sum(
+                # Same strata batching as WorkerContext.theta_partial, so
+                # the backends stay bit-identical.
+                if shard.strata:
+                    pairs, labels, weights = concat_strata(shard.strata)
+                    values = table[pairs.reshape(-1)]
+                    pi_pairs = values[:, :-1].reshape(len(pairs), 2, k)
+                    grad = backend.theta_gradient_weighted(
                         pi_pairs[:, 0],
                         pi_pairs[:, 1],
-                        stratum.labels.astype(np.int64),
+                        labels,
                         theta,
                         config.delta,
+                        weights=weights,
+                        workspace=workspace,
                     )
+                else:
+                    grad = np.zeros_like(theta)
                 res_send.put(("theta", worker_id, seq, worker_id, grad))
             elif op == "perplexity":
                 _, _, part, pairs, labels, beta = cmd

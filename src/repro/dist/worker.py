@@ -19,8 +19,8 @@ from typing import Optional
 import numpy as np
 
 from repro.config import AMMSBConfig
-from repro.core import gradients
-from repro.core.minibatch import NeighborSample
+from repro.core import kernels
+from repro.core.minibatch import NeighborSample, concat_strata
 from repro.cluster.dkv import DKVStore, DKVTraffic
 from repro.dist.partition import WorkerShard
 
@@ -70,6 +70,8 @@ class WorkerContext:
         # the master's streams for any worker count.
         self.rng = np.random.default_rng(config.seed + 1009 * (worker + 1))
         self.noise_rng = np.random.default_rng(config.seed + 2003 * (worker + 1))
+        self.kernels = kernels.get_backend(config.kernel_backend)
+        self.workspace = kernels.KernelWorkspace()
 
     # -- neighbor sampling ----------------------------------------------------
 
@@ -136,7 +138,7 @@ class WorkerContext:
         phi_sum_a = values[:m, -1]
         pi_b = values[m:, :-1].reshape(m, -1, cfg.n_communities)
 
-        grad = gradients.phi_gradient_sum(
+        grad = self.kernels.phi_gradient_sum(
             pi_a,
             phi_sum_a,
             pi_b,
@@ -144,13 +146,14 @@ class WorkerContext:
             beta,
             cfg.delta,
             mask=neighbor_sample.mask,
+            workspace=self.workspace,
         )
         counts = np.maximum(neighbor_sample.counts, 1)
         scale = self.n_vertices / counts
         if noise is None:
             noise = self.noise_rng.standard_normal(pi_a.shape)
         phi_a = pi_a * phi_sum_a[:, None]
-        new_phi = gradients.update_phi(
+        new_phi = self.kernels.update_phi(
             phi_a,
             grad,
             eps_t=eps_t,
@@ -159,6 +162,7 @@ class WorkerContext:
             noise=noise,
             phi_floor=cfg.phi_floor,
             phi_clip=cfg.phi_clip,
+            workspace=self.workspace,
         )
         sums = new_phi.sum(axis=1)
         new_values = np.concatenate([new_phi / sums[:, None], sums[:, None]], axis=1)
@@ -186,27 +190,26 @@ class WorkerContext:
     ) -> tuple[np.ndarray, DKVTraffic, int]:
         """h-scaled theta-gradient partial sum over this worker's strata.
 
-        Reads the endpoint pi rows from the DKV (fresh values — the stage
-        runs after the update_pi barrier).
+        All strata are concatenated into one batched DKV read (fresh
+        values — the stage runs after the update_pi barrier) and one
+        weighted kernel call, instead of a per-stratum Python loop.
         """
         cfg = self.config
-        grad = np.zeros_like(theta)
-        traffic = DKVTraffic()
-        ops = 0
-        for stratum in shard.strata:
-            keys = stratum.pairs.reshape(-1)
-            values, t = self.dkv.read_batch(self.worker, keys)
-            traffic.merge(t)
-            pi_pairs = values[:, :-1].reshape(len(stratum.pairs), 2, cfg.n_communities)
-            g = gradients.theta_gradient_sum(
-                pi_pairs[:, 0],
-                pi_pairs[:, 1],
-                stratum.labels.astype(np.int64),
-                theta,
-                cfg.delta,
-            )
-            grad += stratum.scale * g
-            ops += len(stratum.pairs) * cfg.n_communities
+        if not shard.strata:
+            return np.zeros_like(theta), DKVTraffic(), 0
+        pairs, labels, weights = concat_strata(shard.strata)
+        values, traffic = self.dkv.read_batch(self.worker, pairs.reshape(-1))
+        pi_pairs = values[:, :-1].reshape(len(pairs), 2, cfg.n_communities)
+        grad = self.kernels.theta_gradient_weighted(
+            pi_pairs[:, 0],
+            pi_pairs[:, 1],
+            labels,
+            theta,
+            cfg.delta,
+            weights=weights,
+            workspace=self.workspace,
+        )
+        ops = len(pairs) * cfg.n_communities
         return grad, traffic, ops
 
     # -- perplexity partials ------------------------------------------------------------

@@ -10,17 +10,31 @@ the property the equivalence tests rely on.
 
 from __future__ import annotations
 
+import threading
 from typing import Optional
 
 import numpy as np
 
 from repro.config import AMMSBConfig
-from repro.core import gradients
+from repro.core.kernels import KernelWorkspace
 from repro.core.minibatch import Minibatch, NeighborSample
 from repro.core.sampler import AMMSBSampler
 from repro.graph.graph import Graph
 from repro.graph.split import HeldoutSplit
 from repro.parallel.threadpool import chunked_thread_map
+
+#: Workspaces are not thread-safe, so each pool thread keeps its own;
+#: capacity-grown buffers persist across iterations (and samplers).
+_TLS = threading.local()
+
+
+def thread_workspace() -> KernelWorkspace:
+    """This thread's reusable kernel workspace (created on first use)."""
+    ws = getattr(_TLS, "workspace", None)
+    if ws is None:
+        ws = KernelWorkspace()
+        _TLS.workspace = ws
+    return ws
 
 
 class ThreadedAMMSBSampler(AMMSBSampler):
@@ -73,15 +87,16 @@ class ThreadedAMMSBSampler(AMMSBSampler):
 
         pi = self.state.pi
         phi_sum = self.state.phi_sum
-        new_phi = np.empty((m, cfg.n_communities))
+        new_phi = np.empty((m, cfg.n_communities), dtype=pi.dtype)
 
         def work(a: int, b: int) -> None:
+            ws = thread_workspace()
             sl = slice(a, b)
             v = vs[sl]
             pi_a = pi[v]
             phi_sum_a = phi_sum[v]
             pi_b = pi[neighbor_sample.neighbors[sl]]
-            grad = gradients.phi_gradient_sum(
+            grad = self.kernels.phi_gradient_sum(
                 pi_a,
                 phi_sum_a,
                 pi_b,
@@ -89,9 +104,10 @@ class ThreadedAMMSBSampler(AMMSBSampler):
                 beta,
                 cfg.delta,
                 mask=neighbor_sample.mask[sl],
+                workspace=ws,
             )
             counts = np.maximum(neighbor_sample.mask[sl].sum(axis=1, keepdims=True), 1)
-            new_phi[sl] = gradients.update_phi(
+            new_phi[sl] = self.kernels.update_phi(
                 pi_a * phi_sum_a[:, None],
                 grad,
                 eps_t=eps_t,
@@ -100,6 +116,7 @@ class ThreadedAMMSBSampler(AMMSBSampler):
                 noise=noise[sl],
                 phi_floor=cfg.phi_floor,
                 phi_clip=cfg.phi_clip,
+                workspace=ws,
             )
 
         chunked_thread_map(work, m, self.n_threads)
@@ -108,33 +125,38 @@ class ThreadedAMMSBSampler(AMMSBSampler):
     def update_beta_theta(
         self, minibatch: Minibatch, noise: Optional[np.ndarray] = None
     ) -> None:
-        """Thread-parallel theta gradient: one task per stratum, summed.
+        """Thread-parallel theta gradient over the concatenated strata.
 
-        Summation order is fixed (stratum index), so results match the
-        sequential engine bit-for-bit up to float addition order within a
-        stratum, which is unchanged.
+        The strata are batched into one edge array with per-edge h-weights
+        (as in the sequential engine) and chunked by edge range; partial
+        sums are reduced in chunk order, so results match the sequential
+        engine up to float-addition reordering across chunk boundaries.
         """
         cfg = self.config
-        strata = minibatch.strata
+        pairs, labels, scales = minibatch.all_pairs()
+        theta = self.state.theta
+        pi = self.state.pi
 
         def work(a: int, b: int) -> np.ndarray:
-            part = np.zeros_like(self.state.theta)
-            for s in strata[a:b]:
-                pi_a = self.state.pi[s.pairs[:, 0]]
-                pi_b = self.state.pi[s.pairs[:, 1]]
-                part += s.scale * gradients.theta_gradient_sum(
-                    pi_a, pi_b, s.labels.astype(np.int64), self.state.theta, cfg.delta
-                )
-            return part
+            sl = slice(a, b)
+            return self.kernels.theta_gradient_weighted(
+                pi[pairs[sl, 0]],
+                pi[pairs[sl, 1]],
+                labels[sl],
+                theta,
+                cfg.delta,
+                weights=scales[sl],
+                workspace=thread_workspace(),
+            )
 
-        parts = chunked_thread_map(work, len(strata), self.n_threads)
-        grad_total = np.zeros_like(self.state.theta)
+        parts = chunked_thread_map(work, pairs.shape[0], self.n_threads)
+        grad_total = np.zeros_like(theta)
         for p in parts:
             grad_total += p
         if noise is None:
-            noise = self.noise_rng.standard_normal(self.state.theta.shape)
-        self.state.theta = gradients.update_theta(
-            self.state.theta,
+            noise = self.noise_rng.standard_normal(theta.shape)
+        self.state.theta = self.kernels.update_theta(
+            theta,
             grad_total,
             eps_t=cfg.step_theta.at(self.iteration),
             eta=cfg.eta,

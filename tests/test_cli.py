@@ -89,6 +89,78 @@ class TestBenchmark:
         assert len(lines) >= 4
 
 
+class TestBenchCheck:
+    """bench-check plumbing; the real bench runs are exercised via
+    ``repro bench-kernels --quick`` in CI, not here (too slow for tier-1)."""
+
+    def _report(self, phi=2.0, theta=2.0, upd=1.2, e2e=1.1):
+        from repro.bench.kernbench import SCHEMA
+
+        def kernel(speedup):
+            return {
+                "reference": {"seconds": speedup, "elements_per_s": 1.0},
+                "fused": {"seconds": 1.0, "elements_per_s": speedup},
+                "speedup": speedup,
+            }
+
+        return {
+            "schema": SCHEMA,
+            "quick": False,
+            "seed": 0,
+            "workloads": {},
+            "kernels": {
+                "phi_gradient": kernel(phi),
+                "phi_update": kernel(upd),
+                "theta_gradient": kernel(theta),
+            },
+            "sampler": {"end_to_end": {"speedup": e2e}},
+        }
+
+    def test_missing_baseline_exit_3(self, tmp_path):
+        assert main(["bench-check", "--baseline", str(tmp_path / "no.json")]) == 3
+
+    def test_wrong_schema_exit_3(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"schema": "something-else"}')
+        assert main(["bench-check", "--baseline", str(bad)]) == 3
+
+    def test_compare_reports_flags_regression(self):
+        from repro.bench.kernbench import compare_reports
+
+        baseline = self._report(phi=2.0)
+        ok = compare_reports(baseline, self._report(phi=1.6), threshold=0.25)
+        assert not any(r["regressed"] for r in ok)
+        bad = compare_reports(baseline, self._report(phi=1.4), threshold=0.25)
+        flagged = {r["metric"] for r in bad if r["regressed"]}
+        assert flagged == {"kernels/phi_gradient"}
+
+    def test_compare_reports_faster_never_flags(self):
+        from repro.bench.kernbench import compare_reports
+
+        rows = compare_reports(self._report(), self._report(phi=9.0, e2e=4.0))
+        assert not any(r["regressed"] for r in rows)
+
+    def test_save_load_roundtrip(self, tmp_path):
+        from repro.bench.kernbench import load_report, save_report
+
+        path = tmp_path / "r.json"
+        report = self._report()
+        save_report(report, path)
+        assert load_report(path) == report
+
+    def test_committed_baseline_is_valid_and_meets_acceptance(self):
+        """The checked-in BENCH_kernels.json parses, tracks every metric,
+        and records the >=1.5x fused phi-gradient speedup."""
+        from pathlib import Path
+
+        from repro.bench.kernbench import TRACKED_SPEEDUPS, load_report, _speedup_at
+
+        baseline = load_report(Path(__file__).parent.parent / "BENCH_kernels.json")
+        for path in TRACKED_SPEEDUPS:
+            assert _speedup_at(baseline, path) is not None, path
+        assert _speedup_at(baseline, ("kernels", "phi_gradient")) >= 1.5
+
+
 class TestDetectCheckpointing:
     def test_checkpoint_and_resume(self, tmp_path, capsys):
         edges = tmp_path / "g.txt"

@@ -72,3 +72,35 @@ class TestSampling:
         d64 = DistributedAMMSBSampler(graph, config, cluster=das5(2))
         d32 = DistributedAMMSBSampler(graph, f32_config, cluster=das5(2))
         assert d32.dkv.value_bytes * 2 == d64.dkv.value_bytes
+
+
+class TestHotPathStaysFloat32:
+    def test_fused_workspace_never_upcasts(self, planted, f32_config):
+        """Acceptance: a float32 run keeps the (m, n, K) / (E, K) hot path
+        in float32 — no float64 buffer may appear in the fused workspace.
+
+        The reference path silently upcasts (beta/noise are float64); the
+        fused backend instead casts the small operands down once per call,
+        so every float buffer it allocates must be float32.
+        """
+        graph, _ = planted
+        cfg = f32_config.with_updates(kernel_backend="fused")
+        s = AMMSBSampler(graph, cfg)
+        s.run(5)
+        buffers = s.workspace.buffers()
+        assert buffers, "fused sampler must populate its workspace"
+        float64_buffers = sorted(
+            name for name, buf in buffers.items() if buf.dtype == np.float64
+        )
+        assert not float64_buffers, float64_buffers
+        # The big phi-path buffers exist and are float32.
+        assert buffers["phi_f"].dtype == np.float32
+        assert buffers["th_u"].dtype == np.float32
+
+    def test_fused_outputs_match_state_dtype(self, planted, f32_config):
+        graph, _ = planted
+        s = AMMSBSampler(graph, f32_config)
+        s.run(5)
+        assert s.state.pi.dtype == np.float32
+        assert s.state.phi_sum.dtype == np.float32
+        assert s.state.theta.dtype == np.float64  # (K, 2) stays double

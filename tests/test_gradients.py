@@ -166,6 +166,59 @@ class TestThetaGradient:
         )
         np.testing.assert_allclose(total, parts, rtol=1e-10)
 
+    def test_y_weighting_identical_to_mask_copy(self, rng):
+        """The 0/1-indicator weighting that replaced the boolean-mask copy
+        ``w[y != 0].sum(axis=0)`` is bit-identical to it (axis-0 sums are
+        sequential; the masked-out rows contribute exact zeros)."""
+        k, e = 8, 200
+        theta = rng.gamma(3.0, 1.0, size=(k, 2)) + 0.5
+        pi_a = np.stack([random_simplex(rng, k) for _ in range(e)])
+        pi_b = np.stack([random_simplex(rng, k) for _ in range(e)])
+        y = rng.integers(0, 2, size=e)
+        grad = gradients.theta_gradient_sum(pi_a, pi_b, y, theta, 1e-3)
+
+        # The pre-change form, recomputed from the same intermediates.
+        beta = theta[:, 1] / theta.sum(axis=1)
+        b_factor = gradients.bernoulli_factor(beta, y)
+        d_factor = gradients.delta_factor(1e-3, y)[:, None]
+        f_diag = pi_a * pi_b * b_factor
+        z = (pi_a * (pi_b * b_factor + (1.0 - pi_b) * d_factor)).sum(axis=1)
+        w = f_diag / np.maximum(z, gradients.EPS)[:, None]
+        w_total = w.sum(axis=0)
+        w_y = w[y != 0].sum(axis=0)  # the old boolean-mask copy
+        w_not_y = w_total - w_y
+        expected = np.empty_like(theta)
+        row_sum = theta.sum(axis=1)
+        expected[:, 0] = w_not_y / np.maximum(theta[:, 0], gradients.EPS) - w_total / row_sum
+        expected[:, 1] = w_y / np.maximum(theta[:, 1], gradients.EPS) - w_total / row_sum
+        np.testing.assert_array_equal(grad, expected)
+
+    def test_weighted_call_equals_per_stratum_scale_loop(self, rng):
+        """One weighted call over concatenated strata == the Python loop
+        ``sum_s scale_s * theta_gradient_sum(stratum_s)`` it replaced."""
+        k = 6
+        theta = rng.gamma(3.0, 1.0, size=(k, 2)) + 0.5
+        strata = []
+        for scale in (17.0, 2.5, 400.0):
+            e = int(rng.integers(3, 20))
+            pi_a = np.stack([random_simplex(rng, k) for _ in range(e)])
+            pi_b = np.stack([random_simplex(rng, k) for _ in range(e)])
+            y = rng.integers(0, 2, size=e)
+            strata.append((pi_a, pi_b, y, scale))
+        looped = sum(
+            scale * gradients.theta_gradient_sum(pi_a, pi_b, y, theta, 1e-3)
+            for pi_a, pi_b, y, scale in strata
+        )
+        weighted = gradients.theta_gradient_sum(
+            np.concatenate([s[0] for s in strata]),
+            np.concatenate([s[1] for s in strata]),
+            np.concatenate([s[2] for s in strata]),
+            theta,
+            1e-3,
+            weights=np.concatenate([np.full(len(s[2]), s[3]) for s in strata]),
+        )
+        np.testing.assert_allclose(weighted, looped, rtol=1e-12)
+
 
 class TestUpdates:
     def test_phi_update_positive_and_clipped(self, rng):

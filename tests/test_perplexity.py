@@ -7,10 +7,76 @@ import pytest
 
 from repro.core.perplexity import (
     PerplexityEstimator,
+    link_prediction_auc,
     link_probability,
     pair_probabilities,
     perplexity,
 )
+
+
+def _auc_tie_ranks_loop(scores: np.ndarray) -> np.ndarray:
+    """The pre-vectorization O(H) while-loop average-rank assignment;
+    kept as the pinning oracle for :func:`link_prediction_auc`."""
+    order = np.argsort(scores, kind="mergesort")
+    ranks = np.empty(len(scores))
+    sorted_scores = scores[order]
+    i = 0
+    while i < len(scores):
+        j = i
+        while j < len(scores) and sorted_scores[j] == sorted_scores[i]:
+            j += 1
+        ranks[order[i:j]] = 0.5 * (i + j - 1) + 1
+        i = j
+    return ranks
+
+
+class TestAUCTieRanking:
+    """The vectorized tie ranking must equal the old while-loop exactly."""
+
+    def _tied_fixture(self):
+        # Four vertices share each pi row, so link_probability collides
+        # across many pairs: a dense tied-score fixture, not a toy case.
+        rng = np.random.default_rng(42)
+        k = 6
+        base = rng.dirichlet(np.ones(k), size=8)
+        pi = np.repeat(base, 4, axis=0)  # 32 vertices, 8 distinct rows
+        beta = rng.uniform(0.1, 0.9, k)
+        pairs = rng.integers(0, 32, size=(300, 2))
+        pairs = pairs[pairs[:, 0] != pairs[:, 1]]
+        labels = rng.random(len(pairs)) < 0.4
+        labels[0] = True
+        labels[1] = False
+        return pi, beta, pairs, labels
+
+    def test_equals_loop_implementation(self):
+        pi, beta, pairs, labels = self._tied_fixture()
+        scores = link_probability(pi[pairs[:, 0]], pi[pairs[:, 1]], beta, 1e-3)
+        assert len(np.unique(scores)) < len(scores), "fixture must have ties"
+        ranks = _auc_tie_ranks_loop(scores)
+        n_pos = int(labels.sum())
+        n_neg = len(labels) - n_pos
+        expected = (ranks[labels].sum() - n_pos * (n_pos + 1) / 2.0) / (n_pos * n_neg)
+        got = link_prediction_auc(pi, beta, pairs, labels, 1e-3)
+        assert got == expected
+
+    def test_equals_pairwise_definition(self):
+        """Sanity: rank-sum formula == brute-force P(link outranks
+        non-link) with ties counting half."""
+        pi, beta, pairs, labels = self._tied_fixture()
+        scores = link_probability(pi[pairs[:, 0]], pi[pairs[:, 1]], beta, 1e-3)
+        pos, neg = scores[labels], scores[~labels]
+        wins = (pos[:, None] > neg[None, :]).sum()
+        ties = (pos[:, None] == neg[None, :]).sum()
+        brute = (wins + 0.5 * ties) / (len(pos) * len(neg))
+        got = link_prediction_auc(pi, beta, pairs, labels, 1e-3)
+        assert got == pytest.approx(brute, rel=1e-12)
+
+    def test_all_tied_is_half(self):
+        pi = np.tile(np.full(4, 0.25), (6, 1))
+        beta = np.full(4, 0.5)
+        pairs = np.array([[0, 1], [2, 3], [4, 5], [1, 2]])
+        labels = np.array([True, False, True, False])
+        assert link_prediction_auc(pi, beta, pairs, labels, 1e-3) == 0.5
 
 
 class TestLinkProbability:
