@@ -1,0 +1,337 @@
+"""Serving-layer benchmark: seeded closed-loop load generator.
+
+``run_serve_bench`` stands up a :class:`~repro.serve.server.ModelServer`
+over a synthetic artifact (acceptance workload: N=10k nodes, K=64) and
+drives it with closed-loop client threads issuing Zipf-skewed
+link-probability requests (a small hot set dominates, as real query
+traffic does — this is what exercises the LRU cache). Each client keeps a
+bounded pipeline of outstanding futures, so admission, batching and
+scoring overlap like they would behind a real RPC front end.
+
+Mid-run, a perturbed artifact is **hot-swapped** in while the clients
+keep hammering; the report proves the swap completed with zero dropped
+and zero errored queries — the serving layer's equivalent of the chaos
+drill.
+
+The JSON report (``BENCH_serve.json``) embeds the full
+:class:`~repro.serve.metrics.ServerMetrics` snapshot (per-endpoint QPS,
+p50/p99 latency, cache hit rate, batching stats) plus the acceptance
+verdict: sustained batched link-probability queries/sec against the 50k/s
+target. Everything is seeded; quick mode shrinks the workload for CI but
+keeps the same shape.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.config import AMMSBConfig
+
+SCHEMA = "repro-serve-bench/1"
+
+#: acceptance target: sustained batched link-probability queries/sec.
+TARGET_QUERIES_PER_S = 50_000.0
+
+
+@dataclass(frozen=True)
+class ServeWorkload:
+    """Sizing of one load-generator run."""
+
+    n_vertices: int = 10_000
+    n_communities: int = 64
+    n_clients: int = 4
+    requests_per_client: int = 1500
+    pairs_per_request: int = 64
+    pool_size: int = 512  # distinct requests (Zipf-sampled -> cache hits)
+    pipeline_depth: int = 8
+    zipf_exponent: float = 1.1
+    swap_after_fraction: float = 0.5
+
+    @property
+    def total_requests(self) -> int:
+        return self.n_clients * self.requests_per_client
+
+    @property
+    def total_queries(self) -> int:
+        return self.total_requests * self.pairs_per_request
+
+
+FULL = ServeWorkload()
+QUICK = ServeWorkload(
+    n_vertices=2000,
+    n_communities=32,
+    n_clients=2,
+    requests_per_client=300,
+    pairs_per_request=32,
+    pool_size=128,
+)
+
+
+def synthetic_artifact(n_vertices: int, n_communities: int, seed: int):
+    """A model-shaped artifact without training (random gamma posterior)."""
+    from repro.core.state import init_state
+    from repro.serve.artifact import build_artifact
+
+    config = AMMSBConfig(n_communities=n_communities, seed=seed)
+    state = init_state(n_vertices, config, np.random.default_rng(seed))
+    return build_artifact(state, config, iteration=0)
+
+
+def perturbed_artifact(artifact, seed: int):
+    """A distinct-version snapshot of the same shape (the hot-swap payload)."""
+    from repro.core.state import ModelState
+    from repro.serve.artifact import build_artifact
+
+    rng = np.random.default_rng(seed)
+    pi = artifact.pi * rng.uniform(0.9, 1.1, size=artifact.pi.shape)
+    state = ModelState(
+        pi=pi / pi.sum(axis=1, keepdims=True),
+        phi_sum=np.ones(artifact.n_nodes),
+        theta=artifact.theta.copy(),
+    )
+    return build_artifact(state, artifact.config, iteration=artifact.iteration + 1)
+
+
+def _zipf_indices(
+    rng: np.random.Generator, n: int, size: int, exponent: float
+) -> np.ndarray:
+    """``size`` draws from a Zipf law over ``range(n)`` (rank 0 hottest)."""
+    weights = np.arange(1, n + 1, dtype=np.float64) ** -exponent
+    weights /= weights.sum()
+    return rng.choice(n, size=size, p=weights)
+
+
+def _request_pool(rng: np.random.Generator, w: ServeWorkload) -> list[np.ndarray]:
+    """Distinct (B, 2) pair requests over Zipf-popular nodes."""
+    pool = []
+    for _ in range(w.pool_size):
+        a = _zipf_indices(rng, w.n_vertices, w.pairs_per_request, w.zipf_exponent)
+        b = (a + 1 + rng.integers(0, w.n_vertices - 1, size=a.shape)) % w.n_vertices
+        pool.append(np.column_stack([a, b]).astype(np.int64))
+    return pool
+
+
+@dataclass
+class _ClientResult:
+    completed: int = 0
+    queries: int = 0
+    errors: int = 0
+    overloads: int = 0
+
+
+def _client_loop(
+    server,
+    schedule: list[np.ndarray],
+    depth: int,
+    result: _ClientResult,
+    answered: threading.Event,
+    answer_threshold: int,
+    answered_counter: list[int],
+    counter_lock: threading.Lock,
+) -> None:
+    """Closed-loop client: bounded pipeline of outstanding requests."""
+    from repro.serve.server import ServerOverloaded
+
+    outstanding: list[tuple] = []
+
+    def drain(block_all: bool = False) -> None:
+        while outstanding and (block_all or len(outstanding) >= depth):
+            fut, n_pairs = outstanding.pop(0)
+            try:
+                probs = fut.result(timeout=60.0)
+                ok = (
+                    len(probs) == n_pairs
+                    and bool(np.all(np.isfinite(probs)))
+                    and bool(np.all((probs > 0) & (probs < 1)))
+                )
+                if not ok:
+                    result.errors += 1
+                    continue
+                result.completed += 1
+                result.queries += n_pairs
+                with counter_lock:
+                    answered_counter[0] += 1
+                    if answered_counter[0] >= answer_threshold:
+                        answered.set()
+            except Exception:  # noqa: BLE001 - counted, not raised
+                result.errors += 1
+
+    for pairs in schedule:
+        while True:
+            try:
+                fut = server.link_probability(pairs)
+                break
+            except ServerOverloaded:
+                result.overloads += 1
+                drain(block_all=False)
+                time.sleep(0.0005)
+        outstanding.append((fut, len(pairs)))
+        drain(block_all=False)
+    drain(block_all=True)
+
+
+def run_serve_bench(
+    quick: bool = False,
+    seed: int = 0,
+    workload: Optional[ServeWorkload] = None,
+) -> dict[str, Any]:
+    """Run the load generator; returns the JSON-ready report."""
+    from repro.serve.server import ModelServer
+
+    w = workload if workload is not None else (QUICK if quick else FULL)
+    rng = np.random.default_rng(seed)
+    artifact = synthetic_artifact(w.n_vertices, w.n_communities, seed)
+    swap_artifact = perturbed_artifact(artifact, seed + 1)
+
+    pool = _request_pool(rng, w)
+    schedules = [
+        [
+            pool[i]
+            for i in _zipf_indices(
+                np.random.default_rng(seed + 100 + c),
+                w.pool_size,
+                w.requests_per_client,
+                w.zipf_exponent,
+            )
+        ]
+        for c in range(w.n_clients)
+    ]
+
+    results = [_ClientResult() for _ in range(w.n_clients)]
+    answered = threading.Event()
+    answered_counter = [0]
+    counter_lock = threading.Lock()
+    swap_threshold = max(1, int(w.total_requests * w.swap_after_fraction))
+
+    server = ModelServer(
+        artifact,
+        n_workers=2,
+        max_batch=max(16, 4 * w.n_clients),
+        max_delay_ms=0.2,
+        queue_limit=max(256, 4 * w.n_clients * w.pipeline_depth),
+        cache_size=2 * w.pool_size,
+    )
+    swap_info: dict[str, Any] = {"performed": False}
+
+    def swapper() -> None:
+        if answered.wait(timeout=120.0):
+            gen = server.publish(swap_artifact)
+            swap_info.update(
+                performed=True,
+                generation=gen,
+                at_request=answered_counter[0],
+                new_version=swap_artifact.version,
+            )
+
+    threads = [
+        threading.Thread(
+            target=_client_loop,
+            args=(
+                server, schedules[c], w.pipeline_depth, results[c],
+                answered, swap_threshold, answered_counter, counter_lock,
+            ),
+            name=f"client-{c}",
+        )
+        for c in range(w.n_clients)
+    ]
+    swap_thread = threading.Thread(target=swapper, name="publisher")
+
+    start = time.perf_counter()
+    swap_thread.start()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - start
+    swap_thread.join(timeout=5.0)
+    stats = server.stats()
+    server.close()
+
+    completed = sum(r.completed for r in results)
+    queries = sum(r.queries for r in results)
+    errors = sum(r.errors for r in results)
+    overloads = sum(r.overloads for r in results)
+    dropped = w.total_requests - completed - errors
+    queries_per_s = queries / elapsed if elapsed > 0 else 0.0
+    lp = stats["endpoints"].get("link_probability", {})
+
+    return {
+        "schema": SCHEMA,
+        "quick": bool(quick),
+        "seed": int(seed),
+        "workload": {
+            "n_vertices": w.n_vertices,
+            "n_communities": w.n_communities,
+            "n_clients": w.n_clients,
+            "requests_per_client": w.requests_per_client,
+            "pairs_per_request": w.pairs_per_request,
+            "pool_size": w.pool_size,
+            "pipeline_depth": w.pipeline_depth,
+            "zipf_exponent": w.zipf_exponent,
+        },
+        "results": {
+            "elapsed_seconds": elapsed,
+            "requests_completed": completed,
+            "queries_completed": queries,
+            "requests_per_s": completed / elapsed if elapsed > 0 else 0.0,
+            "queries_per_s": queries_per_s,
+            "errors": errors,
+            "dropped": dropped,
+            "overload_rejections": overloads,
+            "p50_ms": lp.get("p50_ms", 0.0),
+            "p99_ms": lp.get("p99_ms", 0.0),
+            "cache_hit_rate": stats["cache"]["hit_rate"],
+        },
+        "hot_swap": {
+            **swap_info,
+            "errors_after_swap": errors,  # zero-total implies zero after swap
+            "zero_dropped_or_errored": errors == 0 and dropped == 0,
+        },
+        "server": stats,
+        "acceptance": {
+            "target_queries_per_s": TARGET_QUERIES_PER_S,
+            "achieved_queries_per_s": queries_per_s,
+            "meets_target": queries_per_s >= TARGET_QUERIES_PER_S,
+        },
+    }
+
+
+def report_rows(report: dict[str, Any]) -> list[dict[str, Any]]:
+    """Flatten for :func:`repro.bench.harness.format_table`."""
+    r = report["results"]
+    hs = report["hot_swap"]
+    return [
+        {"metric": "queries/s", "value": r["queries_per_s"]},
+        {"metric": "requests/s", "value": r["requests_per_s"]},
+        {"metric": "p50 latency (ms)", "value": r["p50_ms"]},
+        {"metric": "p99 latency (ms)", "value": r["p99_ms"]},
+        {"metric": "cache hit rate", "value": r["cache_hit_rate"]},
+        {"metric": "errors", "value": r["errors"]},
+        {"metric": "dropped", "value": r["dropped"]},
+        {"metric": "overload rejections", "value": r["overload_rejections"]},
+        {"metric": "hot-swap clean", "value": str(hs["zero_dropped_or_errored"])},
+        {
+            "metric": f"meets {TARGET_QUERIES_PER_S:.0f} q/s target",
+            "value": str(report["acceptance"]["meets_target"]),
+        },
+    ]
+
+
+def save_report(report: dict[str, Any], path) -> None:
+    Path(path).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+
+def load_report(path) -> dict[str, Any]:
+    report = json.loads(Path(path).read_text())
+    if report.get("schema") != SCHEMA:
+        raise ValueError(
+            f"{path}: expected schema {SCHEMA!r}, got {report.get('schema')!r}"
+        )
+    return report

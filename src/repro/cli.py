@@ -14,13 +14,23 @@ Subcommands:
 - ``repro calibrate`` — print the Table III calibration report;
 - ``repro chaos`` — run the fault-injection drill (worker crash, DKV
   server stall, RDMA failures) against the multiprocess backend and
-  report the recovery.
+  report the recovery;
+- ``repro query`` — answer one model query (membership / link /
+  community / recommend) from a serving artifact;
+- ``repro serve`` — stand up the micro-batching model server and answer
+  a line protocol on stdin;
+- ``repro bench-serve`` — run the serving load generator (Zipf traffic +
+  mid-run hot-swap) and write ``BENCH_serve.json``;
+- ``repro auc`` — held-out link-prediction AUC of a checkpoint or
+  artifact.
 
 Examples::
 
     repro generate --dataset com-DBLP --scale 2e-3 --output dblp.txt
     repro detect --edges dblp.txt --communities 32 --iterations 4000 \\
-        --output covers.txt
+        --output covers.txt --export-artifact dblp_model.npz
+    repro query --artifact dblp_model.npz membership 17 --top 5
+    repro auc --edges dblp.txt --artifact dblp_model.npz
     repro benchmark --experiment fig1
 """
 
@@ -78,6 +88,12 @@ def _cmd_detect(args: argparse.Namespace) -> int:
             save_checkpoint(args.checkpoint, sampler)
     if posterior.n_samples == 0:
         posterior.record(sampler.state.pi, sampler.state.beta)
+    if args.export_artifact:
+        from repro.serve.artifact import export_from_sampler
+
+        export_from_sampler(args.export_artifact, sampler)
+        print(f"exported serving artifact to {args.export_artifact}",
+              file=sys.stderr)
     covers = extract_communities(posterior.pi, threshold=args.threshold)
     out = Path(args.output) if args.output else None
     lines = [" ".join(str(int(v)) for v in c) for c in covers]
@@ -284,6 +300,199 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _format_probs(pairs: np.ndarray, probs: np.ndarray) -> str:
+    return "\n".join(
+        f"{int(a)} {int(b)} {p:.6g}" for (a, b), p in zip(pairs, probs)
+    )
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    """One-shot query against a serving artifact (no server needed)."""
+    from repro.serve.artifact import ArtifactError, load_artifact
+    from repro.serve.engine import QueryEngine
+
+    try:
+        artifact = load_artifact(args.artifact)
+    except ArtifactError as exc:
+        print(f"cannot load artifact: {exc}", file=sys.stderr)
+        return 3
+    engine = QueryEngine(artifact, backend=args.backend)
+    op, operands = args.op, [int(v) for v in args.args]
+
+    if op == "membership":
+        if len(operands) != 1:
+            print("usage: repro query ... membership NODE", file=sys.stderr)
+            return 2
+        for community, weight in engine.membership(operands[0], args.top):
+            print(f"{community} {weight:.6g}")
+    elif op == "link":
+        if not operands or len(operands) % 2:
+            print("usage: repro query ... link A B [A B ...]", file=sys.stderr)
+            return 2
+        pairs = np.asarray(operands, dtype=np.int64).reshape(-1, 2)
+        print(_format_probs(pairs, engine.link_probability(pairs)))
+    elif op == "community":
+        if len(operands) != 1:
+            print("usage: repro query ... community K", file=sys.stderr)
+            return 2
+        for node, weight in engine.community_members(operands[0], args.top):
+            print(f"{node} {weight:.6g}")
+    elif op == "recommend":
+        if len(operands) != 1:
+            print("usage: repro query ... recommend NODE", file=sys.stderr)
+            return 2
+        for node, score in engine.recommend_edges(operands[0], args.top):
+            print(f"{node} {score:.6g}")
+    else:  # pragma: no cover - argparse choices filter this
+        print(f"unknown op {op!r}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _serve_dispatch(server, line: str) -> str:
+    """Answer one line of the ``repro serve`` protocol; raises on bad input."""
+    import json
+
+    parts = line.split()
+    cmd, rest = parts[0], [int(v) for v in parts[1:]]
+    if cmd == "link":
+        if not rest or len(rest) % 2:
+            raise ValueError("usage: link A B [A B ...]")
+        pairs = np.asarray(rest, dtype=np.int64).reshape(-1, 2)
+        probs = server.query("link_probability", pairs)
+        return _format_probs(pairs, probs)
+    if cmd == "membership":
+        if len(rest) not in (1, 2):
+            raise ValueError("usage: membership NODE [K]")
+        ranked = server.query("membership", rest[0], rest[1] if len(rest) > 1 else None)
+        return "\n".join(f"{c} {w:.6g}" for c, w in ranked)
+    if cmd == "community":
+        if len(rest) not in (1, 2):
+            raise ValueError("usage: community K [N]")
+        ranked = server.query(
+            "community_members", rest[0], rest[1] if len(rest) > 1 else 10
+        )
+        return "\n".join(f"{n} {w:.6g}" for n, w in ranked)
+    if cmd == "recommend":
+        if len(rest) not in (1, 2):
+            raise ValueError("usage: recommend NODE [N]")
+        ranked = server.query(
+            "recommend_edges", rest[0], rest[1] if len(rest) > 1 else 10
+        )
+        return "\n".join(f"{n} {s:.6g}" for n, s in ranked)
+    if cmd == "stats":
+        return json.dumps(server.stats(), indent=2, sort_keys=True)
+    raise ValueError(
+        f"unknown command {cmd!r}; known: link membership community "
+        f"recommend stats quit"
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Serve an artifact over a stdin/stdout line protocol.
+
+    Protocol: ``link A B [A B ...]`` | ``membership NODE [K]`` |
+    ``community K [N]`` | ``recommend NODE [N]`` | ``stats`` | ``quit``.
+    Errors are reported per line; the server keeps running.
+    """
+    from repro.serve.artifact import ArtifactError, load_artifact
+    from repro.serve.server import ModelServer
+
+    try:
+        artifact = load_artifact(args.artifact)
+    except ArtifactError as exc:
+        print(f"cannot load artifact: {exc}", file=sys.stderr)
+        return 3
+    with ModelServer(
+        artifact,
+        n_workers=args.workers,
+        max_batch=args.max_batch,
+        max_delay_ms=args.max_delay_ms,
+    ) as server:
+        print(
+            f"serving {artifact.n_nodes} nodes x {artifact.n_communities} "
+            f"communities (artifact {artifact.version}); type 'quit' to exit",
+            file=sys.stderr,
+        )
+        for raw in sys.stdin:
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            if line == "quit":
+                break
+            try:
+                print(_serve_dispatch(server, line))
+            except Exception as exc:  # noqa: BLE001 - interactive loop
+                print(f"error: {exc}", file=sys.stderr)
+            sys.stdout.flush()
+    return 0
+
+
+def _cmd_bench_serve(args: argparse.Namespace) -> int:
+    """Run the serving load generator; exit 2 if any query dropped/errored."""
+    from repro.bench import servebench
+    from repro.bench.harness import format_table
+
+    report = servebench.run_serve_bench(quick=args.quick, seed=args.seed)
+    print(format_table(servebench.report_rows(report), title="Serving bench"))
+    if args.output:
+        servebench.save_report(report, args.output)
+        print(f"wrote {args.output}", file=sys.stderr)
+    if not report["hot_swap"]["zero_dropped_or_errored"]:
+        print("FAIL: queries dropped or errored under load", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_auc(args: argparse.Namespace) -> int:
+    """Held-out link-prediction AUC of a checkpoint or serving artifact."""
+    from repro.core.perplexity import link_prediction_auc
+    from repro.graph.io import load_edge_list
+    from repro.graph.split import split_heldout
+
+    if (args.checkpoint is None) == (args.artifact is None):
+        print("exactly one of --checkpoint / --artifact is required",
+              file=sys.stderr)
+        return 2
+    if args.checkpoint:
+        from repro.core.checkpoint import CheckpointError, load_state_checkpoint
+
+        try:
+            state, iteration, config = load_state_checkpoint(args.checkpoint)
+        except CheckpointError as exc:
+            print(f"cannot load checkpoint: {exc}", file=sys.stderr)
+            return 3
+        pi, beta, delta = state.pi, state.beta, config.delta
+        source = f"checkpoint {args.checkpoint} (iteration {iteration})"
+    else:
+        from repro.serve.artifact import ArtifactError, load_artifact
+
+        try:
+            artifact = load_artifact(args.artifact)
+        except ArtifactError as exc:
+            print(f"cannot load artifact: {exc}", file=sys.stderr)
+            return 3
+        pi, beta, delta = artifact.pi, artifact.beta, artifact.config.delta
+        source = f"artifact {args.artifact} (version {artifact.version})"
+
+    graph = load_edge_list(args.edges)
+    if graph.n_vertices > pi.shape[0]:
+        print(f"graph has {graph.n_vertices} vertices but the model covers "
+              f"{pi.shape[0]}", file=sys.stderr)
+        return 2
+    split = split_heldout(
+        graph, args.heldout_fraction, np.random.default_rng(args.seed)
+    )
+    auc = link_prediction_auc(
+        pi, beta, split.heldout_pairs, split.heldout_labels, delta
+    )
+    print(f"AUC {auc:.4f} ({split.n_links} held-out links, "
+          f"{len(split.heldout_pairs) - split.n_links} non-links, {source})",
+          file=sys.stderr)
+    print(f"{auc:.6f}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -305,6 +514,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--checkpoint", default=None,
                    help="write a resumable checkpoint here after each report")
     p.add_argument("--resume", default=None, help="resume from a checkpoint file")
+    p.add_argument("--export-artifact", default=None,
+                   help="also export a serving artifact (.npz) of the final state")
     p.set_defaults(func=_cmd_detect)
 
     p = sub.add_parser("generate", help="write a synthetic graph edge list")
@@ -345,6 +556,40 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("calibrate", help="print the Table III calibration report")
     p.set_defaults(func=_cmd_calibrate)
+
+    p = sub.add_parser("query", help="one-shot query against a serving artifact")
+    p.add_argument("--artifact", required=True, help="serving artifact (.npz)")
+    p.add_argument("--backend", default=None,
+                   help="kernel backend override (default: artifact config)")
+    p.add_argument("--top", type=int, default=10,
+                   help="result count for ranked ops (default 10)")
+    p.add_argument("op", choices=["membership", "link", "community", "recommend"])
+    p.add_argument("args", nargs="*", help="op operands (node/community ids)")
+    p.set_defaults(func=_cmd_query)
+
+    p = sub.add_parser("serve",
+                       help="serve an artifact over a stdin line protocol")
+    p.add_argument("--artifact", required=True, help="serving artifact (.npz)")
+    p.add_argument("--workers", type=int, default=2)
+    p.add_argument("--max-batch", type=int, default=64)
+    p.add_argument("--max-delay-ms", type=float, default=1.0)
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser("bench-serve", help="run the serving load-generator bench")
+    p.add_argument("--output", "-o", default=None,
+                   help="write the machine-readable report JSON here")
+    p.add_argument("--quick", action="store_true",
+                   help="smaller workload (for CI)")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_bench_serve)
+
+    p = sub.add_parser("auc", help="held-out link-prediction AUC")
+    p.add_argument("--edges", required=True, help="edge-list file (SNAP format)")
+    p.add_argument("--checkpoint", default=None, help="model checkpoint (.npz)")
+    p.add_argument("--artifact", default=None, help="serving artifact (.npz)")
+    p.add_argument("--heldout-fraction", type=float, default=0.02)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_auc)
 
     p = sub.add_parser("chaos", help="run the fault-injection drill")
     p.add_argument("--vertices", type=int, default=200)

@@ -70,12 +70,40 @@ def _config_to_json(config: AMMSBConfig) -> str:
     return json.dumps(d)
 
 
-def _config_from_json(blob: str) -> AMMSBConfig:
-    d = json.loads(blob)
-    d["step_phi"] = StepSizeConfig(**d["step_phi"])
-    d["step_theta"] = StepSizeConfig(**d["step_theta"])
-    d["eta"] = tuple(d["eta"])
-    return AMMSBConfig(**d)
+def _config_from_json(path: PathLike, blob: str) -> AMMSBConfig:
+    """Rebuild the **full** saved config, or raise a typed error.
+
+    The saved field set must match :class:`AMMSBConfig` exactly: a missing
+    field (e.g. ``kernel_backend`` from a writer that predates it) must
+    not be silently defaulted — the default could differ from what the
+    run actually used (``kernel_backend`` even reads an environment
+    variable) and change numerics on resume. Unknown fields mean the file
+    comes from a newer writer and would otherwise die as a raw
+    ``TypeError`` inside the dataclass constructor.
+    """
+    try:
+        d = json.loads(blob)
+    except (json.JSONDecodeError, TypeError) as exc:
+        raise CheckpointError(path, f"unreadable config ({exc})") from exc
+    if not isinstance(d, dict):
+        raise CheckpointError(path, "config record is not an object")
+    expected = {f.name for f in dataclasses.fields(AMMSBConfig)}
+    missing = sorted(expected - d.keys())
+    unknown = sorted(d.keys() - expected)
+    if missing or unknown:
+        parts = []
+        if missing:
+            parts.append(f"missing config field(s) {missing}")
+        if unknown:
+            parts.append(f"unknown config field(s) {unknown}")
+        raise CheckpointError(path, "; ".join(parts))
+    try:
+        d["step_phi"] = StepSizeConfig(**d["step_phi"])
+        d["step_theta"] = StepSizeConfig(**d["step_theta"])
+        d["eta"] = tuple(d["eta"])
+        return AMMSBConfig(**d)
+    except (TypeError, ValueError) as exc:
+        raise CheckpointError(path, f"invalid config value ({exc})") from exc
 
 
 def _atomic_savez(path: PathLike, **arrays) -> Path:
@@ -192,10 +220,12 @@ def load_checkpoint(path: PathLike, graph, heldout=None) -> AMMSBSampler:
     with _open_archive(path) as data:
         meta = _read_meta(path, data)
         try:
-            config = _config_from_json(meta["config"])
+            config = _config_from_json(path, meta["config"])
             iteration = int(meta["iteration"])
             rng_state = json.loads(meta["rng_state"])
             noise_rng_state = json.loads(meta["noise_rng_state"])
+        except CheckpointError:
+            raise
         except (KeyError, TypeError, ValueError) as exc:
             raise CheckpointError(path, f"invalid metadata ({exc})") from exc
         state = ModelState(
@@ -253,8 +283,10 @@ def load_state_checkpoint(path: PathLike) -> tuple[ModelState, int, AMMSBConfig]
     with _open_archive(path) as data:
         meta = _read_meta(path, data)
         try:
-            config = _config_from_json(meta["config"])
+            config = _config_from_json(path, meta["config"])
             iteration = int(meta["iteration"])
+        except CheckpointError:
+            raise
         except (KeyError, TypeError, ValueError) as exc:
             raise CheckpointError(path, f"invalid metadata ({exc})") from exc
         state = ModelState(

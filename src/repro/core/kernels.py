@@ -100,10 +100,13 @@ class KernelWorkspace:
 
 
 class KernelBackend:
-    """A named bundle of the four SGRLD hot-path kernels.
+    """A named bundle of the SGRLD hot-path kernels.
 
     All kernels accept an optional ``workspace``; backends that do not
-    need one (``reference``) ignore it.
+    need one (``reference``) ignore it. ``link_probability`` is the
+    inference-time scoring kernel used by the serving layer
+    (:mod:`repro.serve`); backends that do not override it get the
+    reference implementation.
     """
 
     def __init__(
@@ -113,12 +116,16 @@ class KernelBackend:
         update_phi: Callable[..., np.ndarray],
         theta_gradient_weighted: Callable[..., np.ndarray],
         update_theta: Callable[..., np.ndarray],
+        link_probability: Optional[Callable[..., np.ndarray]] = None,
     ) -> None:
         self.name = name
         self.phi_gradient_sum = phi_gradient_sum
         self.update_phi = update_phi
         self.theta_gradient_weighted = theta_gradient_weighted
         self.update_theta = update_theta
+        self.link_probability = (
+            link_probability if link_probability is not None else _ref_link_probability
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"KernelBackend({self.name!r})"
@@ -155,6 +162,14 @@ def _ref_update_theta(
     return gradients.update_theta(
         theta, grad_sum, eps_t, eta, scale, noise, theta_floor=theta_floor
     )
+
+
+def _ref_link_probability(pi_a, pi_b, beta, delta, workspace=None):
+    # repro.core re-exports the perplexity *function* under the same name
+    # as the module, so import the function directly.
+    from repro.core.perplexity import link_probability
+
+    return link_probability(pi_a, pi_b, beta, delta)
 
 
 # -- fused backend: in-place, allocation-free, dtype-preserving ---------------
@@ -332,6 +347,39 @@ def _fused_theta_gradient_weighted(
     return grad
 
 
+def _fused_link_probability(pi_a, pi_b, beta, delta, workspace=None):
+    """Batched ``p(y=1)`` (perplexity Eqn 7 integrand) without temporaries.
+
+    The serving hot path: scores (H, K) pair batches into workspace
+    buffers, replaying the reference arithmetic of
+    :func:`repro.core.perplexity.link_probability` so float64 results are
+    bit-identical. A float32 artifact scores entirely in float32.
+    """
+    from repro.core.perplexity import _PROB_FLOOR
+
+    ws = workspace if workspace is not None else KernelWorkspace()
+    pi_a = np.asarray(pi_a)
+    pi_b = np.asarray(pi_b)
+    ct = _compute_dtype(pi_a, pi_b)
+    h, k = pi_a.shape
+
+    t = ws.array("lp_t", (h, k), ct)
+    np.multiply(pi_a, pi_b, out=t)
+    overlap = ws.array("lp_overlap", (h,), ct)
+    np.sum(t, axis=1, out=overlap)
+    beta_c = ws.cast("lp_beta", np.asarray(beta), ct)
+    t *= beta_c
+    same = ws.array("lp_same", (h,), ct)
+    np.sum(t, axis=1, out=same)
+
+    # p = same + (1 - overlap) * delta, then clip to the probability floor.
+    np.subtract(1.0, overlap, out=overlap)
+    overlap *= ct.type(delta)
+    np.add(same, overlap, out=same)
+    np.clip(same, _PROB_FLOOR, 1.0 - _PROB_FLOOR, out=same)
+    return same
+
+
 #: theta is (K, 2) and always float64 — nothing to fuse at that size.
 _fused_update_theta = _ref_update_theta
 
@@ -377,5 +425,6 @@ register_backend(
         update_phi=_fused_update_phi,
         theta_gradient_weighted=_fused_theta_gradient_weighted,
         update_theta=_fused_update_theta,
+        link_probability=_fused_link_probability,
     )
 )

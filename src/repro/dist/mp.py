@@ -273,6 +273,13 @@ class MultiprocessAMMSBSampler:
             :mod:`repro.core.checkpoint`).
         checkpoint_every: iterations between auto-checkpoints (0 = only
             explicit :meth:`save_checkpoint` calls).
+        publish_path: opt-in serving-artifact target; the training loop
+            periodically exports an immutable
+            :class:`~repro.serve.artifact.ModelArtifact` here (atomic
+            replace, so a :class:`~repro.serve.server.ModelServer`
+            watching the path can hot-swap mid-run).
+        publish_every: iterations between artifact publishes (0 = only
+            explicit :meth:`publish_artifact` calls).
     """
 
     def __init__(
@@ -288,6 +295,8 @@ class MultiprocessAMMSBSampler:
         shutdown_timeout: float = 5.0,
         checkpoint_path: Optional[Union[str, Path]] = None,
         checkpoint_every: int = 0,
+        publish_path: Optional[Union[str, Path]] = None,
+        publish_every: int = 0,
     ) -> None:
         if n_workers < 1:
             raise ValueError("need at least one worker")
@@ -302,6 +311,8 @@ class MultiprocessAMMSBSampler:
         self.shutdown_timeout = float(shutdown_timeout)
         self.checkpoint_path = Path(checkpoint_path) if checkpoint_path else None
         self.checkpoint_every = int(checkpoint_every)
+        self.publish_path = Path(publish_path) if publish_path else None
+        self.publish_every = int(publish_every)
         self.recoveries: list[RecoveryEvent] = []
 
         heldout_keys = None
@@ -583,6 +594,32 @@ class MultiprocessAMMSBSampler:
         ):
             self.save_checkpoint()
 
+    # -- serving-artifact publication -------------------------------------------------
+
+    def publish_artifact(self, path: Optional[Union[str, Path]] = None) -> Path:
+        """Atomically export the current posterior as a serving artifact.
+
+        The write goes through the same tmp+fsync+replace machinery as
+        checkpoints, so a serving process re-loading the path sees either
+        the previous artifact or the new one, never a torn file.
+        """
+        from repro.serve.artifact import export_artifact
+
+        target = Path(path) if path is not None else self.publish_path
+        if target is None:
+            raise ValueError("no publish path configured")
+        return export_artifact(
+            target, self.state_snapshot(), self.config, iteration=self.iteration
+        )
+
+    def _maybe_publish(self) -> None:
+        if (
+            self.publish_path is not None
+            and self.publish_every > 0
+            and self.iteration % self.publish_every == 0
+        ):
+            self.publish_artifact()
+
     # -- iteration -------------------------------------------------------------------
 
     def step(self) -> None:
@@ -602,6 +639,7 @@ class MultiprocessAMMSBSampler:
                 self._recover(crash)
         self.iteration += 1
         self._maybe_autocheckpoint()
+        self._maybe_publish()
 
     def _step_once(self) -> None:
         cfg = self.config

@@ -1,0 +1,331 @@
+"""Immutable, versioned model artifacts for online serving.
+
+A trained posterior (``pi``/``theta``) is only useful if it can answer
+queries without the training stack; a :class:`ModelArtifact` is the
+self-contained, read-only export that the serving layer loads:
+
+- the full :class:`~repro.config.AMMSBConfig` (so scoring uses the same
+  ``delta`` / ``kernel_backend`` / dtype the run trained with);
+- ``pi`` (row-renormalized at export time, so queries never see float
+  drift from the sampler's incremental renormalizations), ``theta`` and
+  the derived ``beta``;
+- a node-id mapping (row index -> external vertex id), so queries speak
+  the graph's ids even when the trainer compacted them;
+- precomputed top-``K`` community assignments per node (indices +
+  weights), the membership query's hot path.
+
+No graph object is needed to load or serve an artifact.
+
+Durability and identity: artifacts are written with the same atomic
+tmp + fsync + ``os.replace`` machinery as checkpoints
+(:mod:`repro.core.checkpoint`), and carry a deterministic content
+``version`` — a SHA-256 over the model arrays and config — so two
+exports of the same posterior get the same version and a hot-swapped
+server can report exactly which model answered. Anything wrong at load
+time surfaces as a typed :class:`ArtifactError` naming the path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Optional, Union
+
+import numpy as np
+
+from repro.config import AMMSBConfig
+from repro.core.checkpoint import (
+    _atomic_savez,
+    _config_from_json,
+    _config_to_json,
+    _open_archive,
+    CheckpointError,
+)
+from repro.core.state import ModelState
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints only
+    from repro.core.sampler import AMMSBSampler
+
+PathLike = Union[str, Path]
+
+SCHEMA = "repro-serve-artifact/1"
+FORMAT_VERSION = 1
+
+#: default number of precomputed top communities per node.
+DEFAULT_TOP_K = 8
+
+
+class ArtifactError(ValueError):
+    """An artifact could not be read or fails validation (typed, with path)."""
+
+    def __init__(self, path: PathLike, reason: str) -> None:
+        self.path = Path(path)
+        self.reason = reason
+        super().__init__(f"artifact {self.path}: {reason}")
+
+
+def _content_version(config_json: str, pi: np.ndarray, theta: np.ndarray) -> str:
+    """Deterministic content id: same posterior + config -> same version."""
+    h = hashlib.sha256()
+    h.update(config_json.encode())
+    for arr in (pi, theta):
+        h.update(str(arr.dtype).encode())
+        h.update(str(arr.shape).encode())
+        h.update(np.ascontiguousarray(arr).tobytes())
+    return h.hexdigest()[:16]
+
+
+def _top_communities(pi: np.ndarray, top_k: int) -> tuple[np.ndarray, np.ndarray]:
+    """Per-row top-``top_k`` community indices and weights, weight-sorted."""
+    k = pi.shape[1]
+    top_k = min(int(top_k), k)
+    if top_k < k:
+        idx = np.argpartition(pi, k - top_k, axis=1)[:, k - top_k:]
+    else:
+        idx = np.broadcast_to(np.arange(k), pi.shape).copy()
+    w = np.take_along_axis(pi, idx, axis=1)
+    order = np.argsort(-w, axis=1, kind="stable")
+    return (
+        np.take_along_axis(idx, order, axis=1).astype(np.int32),
+        np.take_along_axis(w, order, axis=1),
+    )
+
+
+@dataclass(frozen=True)
+class ModelArtifact:
+    """A loaded (or freshly built) serving snapshot. Treat as immutable.
+
+    Attributes:
+        config: the training configuration (scoring reuses its ``delta``
+            and ``kernel_backend``).
+        pi: (N, K) row-normalized memberships.
+        theta: (K, 2) global reparameterization.
+        beta: (K,) community strengths derived from theta at export time.
+        node_ids: (N,) external vertex id per row (identity by default).
+        top_communities: (N, top_k) int32 community indices, strongest first.
+        top_weights: (N, top_k) the matching membership weights.
+        iteration: training iteration the snapshot was taken at.
+        version: deterministic content hash (16 hex chars).
+    """
+
+    config: AMMSBConfig
+    pi: np.ndarray
+    theta: np.ndarray
+    beta: np.ndarray
+    node_ids: np.ndarray
+    top_communities: np.ndarray
+    top_weights: np.ndarray
+    iteration: int = 0
+    version: str = ""
+    _row_index: dict = field(default_factory=dict, repr=False, compare=False)
+
+    @property
+    def n_nodes(self) -> int:
+        return int(self.pi.shape[0])
+
+    @property
+    def n_communities(self) -> int:
+        return int(self.pi.shape[1])
+
+    def row_of(self, node_id: int) -> int:
+        """Row index of an external node id (O(1) after first use)."""
+        if not self._row_index:
+            self._row_index.update(
+                (int(v), i) for i, v in enumerate(self.node_ids)
+            )
+        try:
+            return self._row_index[int(node_id)]
+        except KeyError:
+            raise KeyError(f"unknown node id {node_id!r}") from None
+
+    def rows_of(self, node_ids: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`row_of`; identity mappings skip the lookup."""
+        node_ids = np.asarray(node_ids, dtype=np.int64)
+        if self._identity_ids():
+            if node_ids.size and (
+                node_ids.min() < 0 or node_ids.max() >= self.n_nodes
+            ):
+                raise KeyError("node id out of range")
+            return node_ids
+        return np.array(
+            [self.row_of(v) for v in node_ids.reshape(-1)], dtype=np.int64
+        ).reshape(node_ids.shape)
+
+    def _identity_ids(self) -> bool:
+        ids = self.node_ids
+        return bool(
+            ids.size == self.n_nodes
+            and ids.dtype.kind == "i"
+            and ids[0] == 0
+            and ids[-1] == self.n_nodes - 1
+            and np.array_equal(ids, np.arange(self.n_nodes))
+        )
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` when an invariant is broken."""
+        n, k = self.pi.shape
+        atol = 1e-6 if self.pi.dtype == np.float64 else 1e-3
+        if np.any(self.pi < 0) or not np.allclose(self.pi.sum(axis=1), 1.0, atol=atol):
+            raise ValueError("pi rows must be normalized and non-negative")
+        if self.theta.shape != (k, 2) or np.any(self.theta <= 0):
+            raise ValueError("theta must be (K, 2) positive")
+        if self.beta.shape != (k,) or np.any(self.beta <= 0) or np.any(self.beta >= 1):
+            raise ValueError("beta must be (K,) in (0, 1)")
+        if self.node_ids.shape != (n,) or len(np.unique(self.node_ids)) != n:
+            raise ValueError("node_ids must be (N,) unique")
+        if self.top_communities.shape != self.top_weights.shape:
+            raise ValueError("top_communities/top_weights shape mismatch")
+        if self.top_communities.shape[0] != n or self.top_communities.shape[1] > k:
+            raise ValueError("top_communities must be (N, top_k<=K)")
+
+
+def build_artifact(
+    state: ModelState,
+    config: AMMSBConfig,
+    iteration: int = 0,
+    node_ids: Optional[np.ndarray] = None,
+    top_k: int = DEFAULT_TOP_K,
+) -> ModelArtifact:
+    """Snapshot a model state into an in-memory :class:`ModelArtifact`.
+
+    ``pi`` is copied and re-normalized row-wise, so the artifact stays
+    valid even if the caller keeps mutating the state.
+    """
+    pi = np.asarray(state.pi, dtype=state.pi.dtype).copy()
+    sums = pi.sum(axis=1, keepdims=True)
+    if np.any(sums <= 0):
+        raise ValueError("pi rows must have positive sums")
+    pi /= sums
+    theta = np.asarray(state.theta, dtype=np.float64).copy()
+    beta = theta[:, 1] / theta.sum(axis=1)
+    n = pi.shape[0]
+    if node_ids is None:
+        node_ids = np.arange(n, dtype=np.int64)
+    else:
+        node_ids = np.asarray(node_ids, dtype=np.int64).copy()
+        if node_ids.shape != (n,):
+            raise ValueError("node_ids must have one entry per pi row")
+    top_idx, top_w = _top_communities(pi, top_k)
+    config_json = _config_to_json(config)
+    artifact = ModelArtifact(
+        config=config,
+        pi=pi,
+        theta=theta,
+        beta=beta,
+        node_ids=node_ids,
+        top_communities=top_idx,
+        top_weights=top_w,
+        iteration=int(iteration),
+        version=_content_version(config_json, pi, theta),
+    )
+    artifact.validate()
+    return artifact
+
+
+def export_artifact(
+    path: PathLike,
+    state: ModelState,
+    config: AMMSBConfig,
+    iteration: int = 0,
+    node_ids: Optional[np.ndarray] = None,
+    top_k: int = DEFAULT_TOP_K,
+) -> Path:
+    """Atomically write a serving artifact for a model state; returns the path."""
+    artifact = build_artifact(
+        state, config, iteration=iteration, node_ids=node_ids, top_k=top_k
+    )
+    return save_artifact(path, artifact)
+
+
+def export_from_sampler(
+    path: PathLike,
+    sampler: "AMMSBSampler",
+    node_ids: Optional[np.ndarray] = None,
+    top_k: int = DEFAULT_TOP_K,
+) -> Path:
+    """Export the current posterior of a (possibly mid-run) sampler."""
+    return export_artifact(
+        path,
+        sampler.state,
+        sampler.config,
+        iteration=sampler.iteration,
+        node_ids=node_ids,
+        top_k=top_k,
+    )
+
+
+def save_artifact(path: PathLike, artifact: ModelArtifact) -> Path:
+    """Atomically write an in-memory artifact (tmp + fsync + replace)."""
+    meta = {
+        "schema": SCHEMA,
+        "version": FORMAT_VERSION,
+        "artifact_version": artifact.version,
+        "iteration": int(artifact.iteration),
+        "config": _config_to_json(artifact.config),
+    }
+    return _atomic_savez(
+        path,
+        _meta=json.dumps(meta),
+        pi=artifact.pi,
+        theta=artifact.theta,
+        beta=artifact.beta,
+        node_ids=artifact.node_ids,
+        top_communities=artifact.top_communities,
+        top_weights=artifact.top_weights,
+    )
+
+
+def load_artifact(path: PathLike) -> ModelArtifact:
+    """Load a serving artifact; no graph object required.
+
+    Raises:
+        ArtifactError: missing/corrupt file, wrong schema or version,
+            missing arrays, or a snapshot that fails validation.
+    """
+    p = Path(path)
+    try:
+        archive = _open_archive(p)
+    except CheckpointError as exc:
+        raise ArtifactError(p, exc.reason) from exc
+    with archive as data:
+        try:
+            meta = json.loads(str(data["_meta"]))
+        except KeyError as exc:
+            raise ArtifactError(p, "missing _meta record") from exc
+        except (json.JSONDecodeError, ValueError) as exc:
+            raise ArtifactError(p, f"unreadable metadata ({exc})") from exc
+        if meta.get("schema") != SCHEMA:
+            raise ArtifactError(
+                p, f"expected schema {SCHEMA!r}, got {meta.get('schema')!r}"
+            )
+        if meta.get("version") != FORMAT_VERSION:
+            raise ArtifactError(
+                p, f"unsupported artifact version {meta.get('version')}"
+            )
+        try:
+            config = _config_from_json(p, meta["config"])
+        except CheckpointError as exc:
+            raise ArtifactError(p, exc.reason) from exc
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ArtifactError(p, f"invalid config metadata ({exc})") from exc
+        arrays = {}
+        for key in (
+            "pi", "theta", "beta", "node_ids", "top_communities", "top_weights"
+        ):
+            try:
+                arrays[key] = data[key].copy()
+            except KeyError as exc:
+                raise ArtifactError(p, f"missing array {key!r}") from exc
+        artifact = ModelArtifact(
+            config=config,
+            iteration=int(meta.get("iteration", 0)),
+            version=str(meta.get("artifact_version", "")),
+            **arrays,
+        )
+    try:
+        artifact.validate()
+    except ValueError as exc:
+        raise ArtifactError(p, f"invalid snapshot ({exc})") from exc
+    return artifact

@@ -1,0 +1,137 @@
+"""Vectorized query engine over a loaded serving artifact.
+
+Four read-only queries cover the downstream uses of a fitted a-MMSB
+posterior (membership lookup, link scoring, community rosters, edge
+recommendation). All scoring goes through the
+:mod:`repro.core.kernels` backend registry — the same machinery the
+trainers use — so a float32 artifact served by the ``fused`` backend
+scores entirely in float32 with zero per-call allocations, and the
+``reference`` backend remains the bit-for-bit contract
+(``tests/test_serve_engine.py``).
+
+Thread-safety: an engine owns a :class:`~repro.core.kernels.KernelWorkspace`,
+which must not be shared across threads. The micro-batching server
+(:mod:`repro.serve.server`) therefore builds one engine per worker
+thread over the same (immutable) artifact — engines are cheap, the
+artifact arrays are shared.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import kernels
+from repro.serve.artifact import ModelArtifact
+
+
+class QueryEngine:
+    """Answers model queries from an immutable :class:`ModelArtifact`.
+
+    Args:
+        artifact: the loaded snapshot.
+        backend: kernel backend name; defaults to the artifact config's
+            ``kernel_backend`` (what the model trained with).
+    """
+
+    def __init__(self, artifact: ModelArtifact, backend: str | None = None) -> None:
+        self.artifact = artifact
+        name = backend if backend is not None else artifact.config.kernel_backend
+        self.kernels = kernels.get_backend(name)
+        self.workspace = kernels.KernelWorkspace()
+
+    # -- membership -----------------------------------------------------------
+
+    def membership(self, node: int, k: int | None = None) -> list[tuple[int, float]]:
+        """Top-``k`` communities of ``node`` as ``(community, weight)`` pairs.
+
+        Served from the artifact's precomputed assignments when ``k`` fits
+        within them; falls back to a full-row sort for larger ``k``.
+        """
+        art = self.artifact
+        row = art.row_of(node)
+        stored = art.top_communities.shape[1]
+        k = stored if k is None else int(k)
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        if k <= stored:
+            idx = art.top_communities[row, :k]
+            w = art.top_weights[row, :k]
+        else:
+            k = min(k, art.n_communities)
+            order = np.argsort(-art.pi[row], kind="stable")[:k]
+            idx, w = order, art.pi[row, order]
+        return [(int(c), float(v)) for c, v in zip(idx, w)]
+
+    # -- link scoring ---------------------------------------------------------
+
+    def link_probability(self, pairs: np.ndarray) -> np.ndarray:
+        """Batched ``p(y=1)`` for (B, 2) node-id pairs, shape (B,).
+
+        One gather + one kernel call regardless of B; this is the serving
+        hot path the micro-batch server coalesces requests into.
+        """
+        pairs = np.asarray(pairs, dtype=np.int64)
+        if pairs.ndim != 2 or pairs.shape[1] != 2:
+            raise ValueError("pairs must have shape (B, 2)")
+        art = self.artifact
+        rows = art.rows_of(pairs)
+        p = self.kernels.link_probability(
+            art.pi[rows[:, 0]],
+            art.pi[rows[:, 1]],
+            art.beta,
+            art.config.delta,
+            workspace=self.workspace,
+        )
+        # Kernel output may be a workspace view; detach before returning.
+        return np.array(p, copy=True)
+
+    # -- community rosters ----------------------------------------------------
+
+    def community_members(
+        self, community: int, top_n: int = 10
+    ) -> list[tuple[int, float]]:
+        """The ``top_n`` strongest members of a community, weight-sorted."""
+        art = self.artifact
+        if not 0 <= community < art.n_communities:
+            raise ValueError(
+                f"community {community} out of range [0, {art.n_communities})"
+            )
+        if top_n < 1:
+            raise ValueError("top_n must be >= 1")
+        col = art.pi[:, community]
+        top_n = min(int(top_n), art.n_nodes)
+        idx = np.argpartition(-col, top_n - 1)[:top_n]
+        idx = idx[np.argsort(-col[idx], kind="stable")]
+        return [(int(art.node_ids[i]), float(col[i])) for i in idx]
+
+    # -- recommendation -------------------------------------------------------
+
+    def recommend_edges(
+        self, node: int, top_n: int = 10, exclude: np.ndarray | None = None
+    ) -> list[tuple[int, float]]:
+        """The ``top_n`` nodes most likely linked to ``node``.
+
+        Scores the node against every row with one broadcast kernel call
+        (bit-identical to per-pair scoring), excluding the node itself and
+        any ``exclude`` ids (e.g. already-known neighbors).
+        """
+        art = self.artifact
+        if top_n < 1:
+            raise ValueError("top_n must be >= 1")
+        row = art.row_of(node)
+        pi_row = np.broadcast_to(art.pi[row], art.pi.shape)
+        p = np.array(
+            self.kernels.link_probability(
+                pi_row, art.pi, art.beta, art.config.delta,
+                workspace=self.workspace,
+            ),
+            copy=True,
+        )
+        p[row] = -np.inf
+        if exclude is not None and len(exclude):
+            p[art.rows_of(np.asarray(exclude))] = -np.inf
+        top_n = min(int(top_n), art.n_nodes - 1)
+        idx = np.argpartition(-p, top_n - 1)[:top_n]
+        idx = idx[np.argsort(-p[idx], kind="stable")]
+        idx = idx[np.isfinite(p[idx])]  # drop excluded slots past the candidates
+        return [(int(art.node_ids[i]), float(p[i])) for i in idx]

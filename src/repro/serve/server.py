@@ -1,0 +1,360 @@
+"""Micro-batching model server: queueing, coalescing, caching, hot-swap.
+
+The online half of the train->serve stack. Clients submit queries and get
+:class:`concurrent.futures.Future` handles back immediately; worker
+threads coalesce queued requests into batches (flushed at ``max_batch``
+requests or ``max_delay_ms`` after the oldest request, whichever comes
+first) and answer them through a per-thread
+:class:`~repro.serve.engine.QueryEngine`. NumPy releases the GIL inside
+the batched kernels, so the worker pool overlaps scoring with request
+admission — the same chunked-thread-pool trick :mod:`repro.parallel`
+uses for training.
+
+Operational semantics:
+
+- **Backpressure**: the request queue is bounded; a submit against a full
+  queue raises a typed :class:`ServerOverloaded` *immediately* (callers
+  shed load or retry; the server never builds an unbounded backlog).
+- **Result cache**: an LRU keyed by (artifact generation, endpoint,
+  canonical payload) with hit/miss/eviction accounting. Hits complete
+  without touching the queue.
+- **Zero-downtime hot-swap**: :meth:`publish` atomically installs a new
+  artifact mid-traffic. In-flight batches finish on the engine they
+  started with; later batches (and cache keys, via the generation
+  counter) see only the new model. No request is dropped or errored by a
+  swap (``tests/test_serve_server.py``, and the load-generator bench
+  proves it under concurrency).
+- **Metrics**: every answer is recorded into a
+  :class:`~repro.serve.metrics.ServerMetrics` (per-endpoint QPS +
+  latency histograms, queue depth, cache and batching stats) exported by
+  :meth:`stats`.
+
+``n_workers=0`` runs no threads; callers drain the queue explicitly with
+:meth:`process_once` — deterministic single-step mode for tests.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict, deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.serve.artifact import ModelArtifact
+from repro.serve.engine import QueryEngine
+from repro.serve.metrics import ServerMetrics
+
+ENDPOINTS = ("link_probability", "membership", "community_members", "recommend_edges")
+
+
+class ServerOverloaded(RuntimeError):
+    """The bounded request queue is full; the caller must back off."""
+
+    def __init__(self, queue_limit: int) -> None:
+        self.queue_limit = queue_limit
+        super().__init__(
+            f"request queue full ({queue_limit} pending); retry with backoff"
+        )
+
+
+@dataclass
+class _Request:
+    endpoint: str
+    payload: Any
+    key: Optional[tuple]
+    queries: int
+    future: Future = field(default_factory=Future)
+    enqueued: float = field(default_factory=time.perf_counter)
+
+
+class ModelServer:
+    """Serves one :class:`ModelArtifact` behind a micro-batching queue.
+
+    Args:
+        artifact: the snapshot to serve first (hot-swappable later).
+        n_workers: worker threads (0 = manual :meth:`process_once` mode).
+        max_batch: flush a batch at this many coalesced requests.
+        max_delay_ms: ... or this long after the oldest queued request.
+        queue_limit: bounded-queue capacity; beyond it submits raise
+            :class:`ServerOverloaded`.
+        cache_size: LRU result-cache capacity (0 disables caching).
+    """
+
+    def __init__(
+        self,
+        artifact: ModelArtifact,
+        n_workers: int = 2,
+        max_batch: int = 64,
+        max_delay_ms: float = 1.0,
+        queue_limit: int = 1024,
+        cache_size: int = 4096,
+    ) -> None:
+        if n_workers < 0 or max_batch < 1 or queue_limit < 1 or cache_size < 0:
+            raise ValueError("invalid server sizing parameter")
+        if max_delay_ms < 0:
+            raise ValueError("max_delay_ms must be >= 0")
+        self.max_batch = int(max_batch)
+        self.max_delay = float(max_delay_ms) / 1e3
+        self.queue_limit = int(queue_limit)
+        self.cache_size = int(cache_size)
+
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._queue: deque[_Request] = deque()
+        self._cache: OrderedDict[tuple, Any] = OrderedDict()
+        self._artifact = artifact
+        self._generation = 0
+        self._stopped = False
+        self.metrics = ServerMetrics(queue_depth=lambda: len(self._queue))
+
+        self._workers = [
+            threading.Thread(target=self._worker_loop, daemon=True, name=f"serve-{i}")
+            for i in range(n_workers)
+        ]
+        for t in self._workers:
+            t.start()
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop accepting work, drain the queue, join the workers.
+
+        Requests already queued are answered; with ``n_workers=0`` any
+        leftovers (the caller stopped draining) are cancelled.
+        """
+        with self._not_empty:
+            if self._stopped:
+                return
+            self._stopped = True
+            self._not_empty.notify_all()
+        for t in self._workers:
+            t.join()
+        with self._not_empty:
+            while self._queue:
+                self._queue.popleft().future.cancel()
+
+    def __enter__(self) -> "ModelServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- artifact hot-swap ----------------------------------------------------
+
+    @property
+    def artifact(self) -> ModelArtifact:
+        return self._artifact
+
+    @property
+    def generation(self) -> int:
+        return self._generation
+
+    def publish(self, artifact: ModelArtifact) -> int:
+        """Install a new artifact with zero downtime; returns the generation.
+
+        In-flight batches complete on the previous snapshot; every batch
+        started after this call (and every cache key) uses the new one.
+        """
+        artifact.validate()
+        with self._not_empty:
+            self._artifact = artifact
+            self._generation += 1
+            gen = self._generation
+        self.metrics.record_hot_swap()
+        return gen
+
+    # -- submission -----------------------------------------------------------
+
+    def link_probability(self, pairs: np.ndarray) -> Future:
+        pairs = np.asarray(pairs, dtype=np.int64)
+        if pairs.ndim != 2 or pairs.shape[1] != 2:
+            raise ValueError("pairs must have shape (B, 2)")
+        return self._submit(
+            "link_probability", pairs, ("lp", pairs.tobytes()), queries=len(pairs)
+        )
+
+    def membership(self, node: int, k: Optional[int] = None) -> Future:
+        return self._submit("membership", (int(node), k), ("mb", int(node), k))
+
+    def community_members(self, community: int, top_n: int = 10) -> Future:
+        return self._submit(
+            "community_members",
+            (int(community), int(top_n)),
+            ("cm", int(community), int(top_n)),
+        )
+
+    def recommend_edges(self, node: int, top_n: int = 10) -> Future:
+        return self._submit(
+            "recommend_edges", (int(node), int(top_n)), ("re", int(node), int(top_n))
+        )
+
+    def query(self, endpoint: str, *args, timeout: Optional[float] = None):
+        """Blocking convenience: submit to ``endpoint`` and wait."""
+        if endpoint not in ENDPOINTS:
+            raise ValueError(f"unknown endpoint {endpoint!r}; known: {ENDPOINTS}")
+        return getattr(self, endpoint)(*args).result(timeout=timeout)
+
+    def _submit(
+        self, endpoint: str, payload: Any, key_suffix: tuple, queries: int = 1
+    ) -> Future:
+        start = time.perf_counter()
+        with self._not_empty:
+            if self._stopped:
+                raise RuntimeError("server is closed")
+            key = None
+            if self.cache_size > 0:
+                key = (self._generation, *key_suffix)
+                if key in self._cache:
+                    self._cache.move_to_end(key)
+                    value = self._cache[key]
+                    self.metrics.record_cache(True)
+                    self.metrics.record_request(
+                        endpoint, time.perf_counter() - start, queries
+                    )
+                    fut: Future = Future()
+                    fut.set_result(value)
+                    return fut
+                self.metrics.record_cache(False)
+            if len(self._queue) >= self.queue_limit:
+                self.metrics.record_rejected()
+                raise ServerOverloaded(self.queue_limit)
+            req = _Request(endpoint, payload, key, queries)
+            self._queue.append(req)
+            self._not_empty.notify()
+            return req.future
+
+    # -- batching -------------------------------------------------------------
+
+    def process_once(self) -> int:
+        """Coalesce and answer one batch synchronously (``n_workers=0`` mode).
+
+        Returns the number of requests answered; 0 when the queue is
+        empty (an empty flush is a no-op, never an error).
+        """
+        batch, engine = self._take_batch(wait=False)
+        if not batch:
+            return 0
+        self._execute(batch, engine)
+        return len(batch)
+
+    def _worker_loop(self) -> None:
+        engine_gen = -1
+        engine: Optional[QueryEngine] = None
+        while True:
+            batch, art_gen = self._take_batch(wait=True, raw=True)
+            if batch is None:
+                return
+            if not batch:
+                continue
+            if engine is None or engine_gen != art_gen[1]:
+                engine = QueryEngine(art_gen[0])
+                engine_gen = art_gen[1]
+            self._execute(batch, engine)
+
+    def _take_batch(self, wait: bool, raw: bool = False):
+        """Pop up to ``max_batch`` requests, honoring the coalescing delay.
+
+        With ``wait=False`` (manual mode) returns immediately; with
+        ``wait=True`` blocks for work and returns ``(None, ...)`` on
+        shutdown with an empty queue. ``raw=True`` returns the
+        ``(artifact, generation)`` pair instead of a built engine.
+        """
+        with self._not_empty:
+            if wait:
+                while not self._queue and not self._stopped:
+                    self._not_empty.wait()
+                if not self._queue and self._stopped:
+                    return None, None
+            if not self._queue:
+                return [], None
+            batch = [self._queue.popleft()]
+            deadline = batch[0].enqueued + self.max_delay
+            while len(batch) < self.max_batch:
+                if self._queue:
+                    batch.append(self._queue.popleft())
+                    continue
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0 or self._stopped or not wait:
+                    break
+                self._not_empty.wait(timeout=remaining)
+                if not self._queue:
+                    break
+            art_gen = (self._artifact, self._generation)
+        self.metrics.record_batch(len(batch))
+        if raw:
+            return batch, art_gen
+        return batch, QueryEngine(art_gen[0])
+
+    # -- execution ------------------------------------------------------------
+
+    def _execute(self, batch: list[_Request], engine: QueryEngine) -> None:
+        # Coalesce all link-probability pairs into one kernel call; the
+        # point of micro-batching (per-request Python overhead amortizes
+        # over the batch, the gather+kernel is one shot).
+        links = [r for r in batch if r.endpoint == "link_probability"]
+        if links:
+            try:
+                stacked = np.concatenate([r.payload for r in links])
+                probs = engine.link_probability(stacked)
+                offset = 0
+                for r in links:
+                    n = len(r.payload)
+                    self._finish(r, probs[offset:offset + n])
+                    offset += n
+            except Exception as exc:  # noqa: BLE001 - fault isolation
+                for r in links:
+                    self._fail(r, exc)
+        for r in batch:
+            if r.endpoint == "link_probability":
+                continue
+            try:
+                if r.endpoint == "membership":
+                    node, k = r.payload
+                    result = engine.membership(node, k)
+                elif r.endpoint == "community_members":
+                    result = engine.community_members(*r.payload)
+                elif r.endpoint == "recommend_edges":
+                    result = engine.recommend_edges(*r.payload)
+                else:  # pragma: no cover - submit() filters endpoints
+                    raise RuntimeError(f"unknown endpoint {r.endpoint!r}")
+                self._finish(r, result)
+            except Exception as exc:  # noqa: BLE001 - fault isolation
+                self._fail(r, exc)
+
+    def _finish(self, req: _Request, result: Any) -> None:
+        self.metrics.record_request(
+            req.endpoint, time.perf_counter() - req.enqueued, req.queries
+        )
+        if req.key is not None:
+            with self._lock:
+                self._cache[req.key] = result
+                self._cache.move_to_end(req.key)
+                evicted = 0
+                while len(self._cache) > self.cache_size:
+                    self._cache.popitem(last=False)
+                    evicted += 1
+            if evicted:
+                self.metrics.record_eviction(evicted)
+        req.future.set_result(result)
+
+    def _fail(self, req: _Request, exc: Exception) -> None:
+        self.metrics.record_error(req.endpoint)
+        req.future.set_exception(exc)
+
+    # -- introspection --------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Metrics snapshot plus the serving artifact's identity."""
+        snap = self.metrics.snapshot()
+        snap["artifact"] = {
+            "version": self._artifact.version,
+            "iteration": self._artifact.iteration,
+            "generation": self._generation,
+            "n_nodes": self._artifact.n_nodes,
+            "n_communities": self._artifact.n_communities,
+        }
+        return snap

@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.config import AMMSBConfig, StepSizeConfig
 from repro.core.checkpoint import (
     CheckpointError,
     load_checkpoint,
@@ -204,3 +205,103 @@ class TestStateCheckpoint:
         bad.write_bytes(b"junk")
         with pytest.raises(CheckpointError, match="corrupt"):
             load_state_checkpoint(bad)
+
+
+def _rewrite_config(path, mutate):
+    """Load a checkpoint archive, mutate its config dict, write it back."""
+    import json
+
+    with np.load(str(path)) as data:
+        meta = json.loads(str(data["_meta"]))
+        arrays = {k: data[k] for k in data.files if k != "_meta"}
+    cfg = json.loads(meta["config"])
+    mutate(cfg)
+    meta["config"] = json.dumps(cfg)
+    np.savez_compressed(str(path), _meta=json.dumps(meta), **arrays)
+
+
+class TestConfigRoundTripHardening:
+    """The config JSON must round-trip exactly — no silent defaulting.
+
+    A missing field silently picking up its dataclass default is a
+    correctness hazard: ``kernel_backend``'s default reads the
+    ``REPRO_KERNEL_BACKEND`` env var, so a resume on a different machine
+    could silently change numerics. Mismatches must be typed errors.
+    """
+
+    def test_every_field_round_trips(self, planted, tmp_path):
+        import dataclasses
+
+        graph, _ = planted
+        cfg = AMMSBConfig(
+            n_communities=4,
+            alpha=0.07,
+            eta=(0.8, 1.3),
+            delta=3e-5,
+            mini_batch_vertices=16,
+            neighbor_sample_size=8,
+            strategy="random-pair",
+            step_phi=StepSizeConfig(a=0.03, b=512.0, c=0.6),
+            step_theta=StepSizeConfig(a=0.02),
+            phi_clip=1e5,
+            phi_floor=1e-11,
+            seed=7,
+            sample_window=16,
+            dtype="float32",
+            kernel_backend="reference",
+        )
+        s = AMMSBSampler(graph, cfg)
+        ckpt = tmp_path / "full.npz"
+        save_checkpoint(ckpt, s)
+        restored = load_checkpoint(ckpt, graph)
+        for f in dataclasses.fields(AMMSBConfig):
+            assert getattr(restored.config, f.name) == getattr(cfg, f.name), f.name
+        assert restored.config == cfg
+
+    def test_kernel_backend_survives_env_override(
+        self, planted, tmp_path, monkeypatch
+    ):
+        """A saved backend choice beats the env-var default on load."""
+        graph, _ = planted
+        cfg = AMMSBConfig(n_communities=4, kernel_backend="reference")
+        s = AMMSBSampler(graph, cfg)
+        ckpt = tmp_path / "kb.npz"
+        save_checkpoint(ckpt, s)
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "fused")
+        restored = load_checkpoint(ckpt, graph)
+        assert restored.config.kernel_backend == "reference"
+
+    def test_missing_field_is_typed_error(self, planted, config, tmp_path):
+        graph, _ = planted
+        s = AMMSBSampler(graph, config)
+        ckpt = tmp_path / "miss.npz"
+        save_checkpoint(ckpt, s)
+        _rewrite_config(ckpt, lambda c: c.pop("kernel_backend"))
+        with pytest.raises(CheckpointError, match="missing config field"):
+            load_checkpoint(ckpt, graph)
+
+    def test_unknown_field_is_typed_error(self, planted, config, tmp_path):
+        graph, _ = planted
+        s = AMMSBSampler(graph, config)
+        ckpt = tmp_path / "unk.npz"
+        save_checkpoint(ckpt, s)
+        _rewrite_config(ckpt, lambda c: c.update(bogus_knob=1))
+        with pytest.raises(CheckpointError, match="unknown config field"):
+            load_checkpoint(ckpt, graph)
+
+    def test_invalid_value_is_typed_error(self, planted, config, tmp_path):
+        graph, _ = planted
+        s = AMMSBSampler(graph, config)
+        ckpt = tmp_path / "inv.npz"
+        save_checkpoint(ckpt, s)
+        _rewrite_config(ckpt, lambda c: c.update(dtype="float16"))
+        with pytest.raises(CheckpointError, match="invalid config value"):
+            load_checkpoint(ckpt, graph)
+
+    def test_state_checkpoint_also_hardened(self, planted, config, tmp_path):
+        graph, _ = planted
+        s = AMMSBSampler(graph, config)
+        path = save_state_checkpoint(tmp_path / "sh.npz", s.state, 0, config)
+        _rewrite_config(path, lambda c: c.pop("dtype"))
+        with pytest.raises(CheckpointError, match="missing config field"):
+            load_state_checkpoint(path)

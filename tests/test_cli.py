@@ -190,3 +190,116 @@ class TestChaos:
         assert "re-partitioned across survivors" in out
         assert "drill passed" in out
         assert "stale_batches" in out
+
+
+@pytest.fixture(scope="module")
+def trained_artifact(tmp_path_factory):
+    """One small trained graph + exported serving artifact + checkpoint."""
+    root = tmp_path_factory.mktemp("serving")
+    edges = root / "g.txt"
+    main(["generate", "--vertices", "80", "--communities", "3",
+          "--output", str(edges)])
+    artifact = root / "model.npz"
+    ckpt = root / "ck.npz"
+    rc = main(["detect", "--edges", str(edges), "-k", "3",
+               "--iterations", "60", "--mini-batch", "32",
+               "--output", str(root / "covers.txt"),
+               "--checkpoint", str(ckpt),
+               "--export-artifact", str(artifact)])
+    assert rc == 0 and artifact.exists() and ckpt.exists()
+    return {"edges": edges, "artifact": artifact, "checkpoint": ckpt}
+
+
+class TestQueryCommand:
+    def test_membership(self, trained_artifact, capsys):
+        rc = main(["query", "--artifact", str(trained_artifact["artifact"]),
+                   "--top", "2", "membership", "5"])
+        assert rc == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 2
+        community, weight = lines[0].split()
+        assert 0 <= int(community) < 3 and 0 < float(weight) <= 1
+
+    def test_link(self, trained_artifact, capsys):
+        rc = main(["query", "--artifact", str(trained_artifact["artifact"]),
+                   "link", "0", "1", "2", "3"])
+        assert rc == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            a, b, p = line.split()
+            assert 0 < float(p) < 1
+
+    def test_community_and_recommend(self, trained_artifact, capsys):
+        rc = main(["query", "--artifact", str(trained_artifact["artifact"]),
+                   "--top", "3", "community", "0"])
+        assert rc == 0
+        assert len(capsys.readouterr().out.strip().splitlines()) == 3
+        rc = main(["query", "--artifact", str(trained_artifact["artifact"]),
+                   "--top", "3", "recommend", "7"])
+        assert rc == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 3
+        assert all(int(line.split()[0]) != 7 for line in lines)
+
+    def test_wrong_arity_exit_2(self, trained_artifact, capsys):
+        rc = main(["query", "--artifact", str(trained_artifact["artifact"]),
+                   "link", "0"])
+        assert rc == 2
+
+    def test_missing_artifact_exit_3(self, tmp_path, capsys):
+        rc = main(["query", "--artifact", str(tmp_path / "no.npz"),
+                   "membership", "0"])
+        assert rc == 3
+
+    def test_backend_override_matches_default(self, trained_artifact, capsys):
+        art = str(trained_artifact["artifact"])
+        main(["query", "--artifact", art, "--backend", "reference",
+              "link", "0", "1"])
+        ref = capsys.readouterr().out
+        main(["query", "--artifact", art, "--backend", "fused",
+              "link", "0", "1"])
+        assert capsys.readouterr().out == ref
+
+
+class TestServeCommand:
+    def test_line_protocol(self, trained_artifact, capsys, monkeypatch):
+        import io
+
+        script = "link 0 1\nmembership 5 2\nstats\nbogus\nquit\n"
+        monkeypatch.setattr("sys.stdin", io.StringIO(script))
+        rc = main(["serve", "--artifact", str(trained_artifact["artifact"]),
+                   "--workers", "1"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        lines = captured.out.strip().splitlines()
+        a, b, p = lines[0].split()
+        assert (a, b) == ("0", "1") and 0 < float(p) < 1
+        assert '"hot_swaps": 0' in captured.out
+        assert "unknown command 'bogus'" in captured.err
+
+
+class TestAucCommand:
+    def test_artifact_and_checkpoint_agree(self, trained_artifact, capsys):
+        rc = main(["auc", "--edges", str(trained_artifact["edges"]),
+                   "--artifact", str(trained_artifact["artifact"])])
+        assert rc == 0
+        from_artifact = float(capsys.readouterr().out.strip())
+        rc = main(["auc", "--edges", str(trained_artifact["edges"]),
+                   "--checkpoint", str(trained_artifact["checkpoint"])])
+        assert rc == 0
+        from_ckpt = float(capsys.readouterr().out.strip())
+        assert 0.0 <= from_artifact <= 1.0
+        assert from_artifact == pytest.approx(from_ckpt, abs=1e-6)
+
+    def test_requires_exactly_one_source(self, trained_artifact, capsys):
+        edges = str(trained_artifact["edges"])
+        assert main(["auc", "--edges", edges]) == 2
+        assert main(["auc", "--edges", edges,
+                     "--artifact", str(trained_artifact["artifact"]),
+                     "--checkpoint", str(trained_artifact["checkpoint"])]) == 2
+
+    def test_missing_checkpoint_exit_3(self, trained_artifact, tmp_path, capsys):
+        rc = main(["auc", "--edges", str(trained_artifact["edges"]),
+                   "--checkpoint", str(tmp_path / "no.npz")])
+        assert rc == 3

@@ -317,3 +317,66 @@ class TestWeightedThetaGradient:
                 weights=weights, workspace=kernels.KernelWorkspace(),
             )
             np.testing.assert_allclose(np.asarray(got), looped, rtol=1e-12)
+
+
+class TestLinkProbabilityKernel:
+    """The serving hot path kernel obeys the same backend contract."""
+
+    @given(
+        h=st.integers(min_value=1, max_value=80),
+        k=st.integers(min_value=1, max_value=48),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_float64_bit_exact(self, h, k, seed):
+        rng = np.random.default_rng(seed)
+        pi_a = rng.dirichlet(np.ones(k), size=h)
+        pi_b = rng.dirichlet(np.ones(k), size=h)
+        beta = rng.uniform(0.05, 0.95, k)
+        ws = kernels.KernelWorkspace()
+        ref = REF.link_probability(pi_a, pi_b, beta, 1e-7)
+        got = FUSED.link_probability(pi_a, pi_b, beta, 1e-7, workspace=ws)
+        np.testing.assert_array_equal(np.asarray(got), ref)
+
+    @given(
+        h=st.integers(min_value=1, max_value=60),
+        k=st.integers(min_value=2, max_value=32),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_float32_stays_float32(self, h, k, seed):
+        rng = np.random.default_rng(seed)
+        pi_a = rng.dirichlet(np.ones(k), size=h).astype(np.float32)
+        pi_b = rng.dirichlet(np.ones(k), size=h).astype(np.float32)
+        beta = rng.uniform(0.05, 0.95, k)
+        ws = kernels.KernelWorkspace()
+        got = FUSED.link_probability(pi_a, pi_b, beta, 1e-7, workspace=ws)
+        assert np.asarray(got).dtype == np.float32
+        ref = REF.link_probability(
+            pi_a.astype(np.float64), pi_b.astype(np.float64), beta, 1e-7
+        )
+        np.testing.assert_allclose(np.asarray(got), ref, rtol=2e-4, atol=2e-6)
+
+    def test_values_clipped_to_open_interval(self):
+        # degenerate memberships drive p toward 0/1; the floor must hold
+        k = 4
+        pi_a = np.eye(k)[:2]
+        pi_b = np.eye(k)[:2]
+        beta = np.array([1.0 - 1e-16, 0.5, 0.5, 0.5])
+        for backend in (REF, FUSED):
+            p = np.asarray(backend.link_probability(pi_a, pi_b, beta, 1e-12))
+            assert np.all((p > 0) & (p < 1))
+
+    def test_broadcast_row_matches_pairwise(self):
+        """recommend_edges relies on broadcast pi_a being bit-identical."""
+        rng = np.random.default_rng(5)
+        k, n = 8, 30
+        pi = rng.dirichlet(np.ones(k), size=n)
+        beta = rng.uniform(0.05, 0.95, k)
+        ws = kernels.KernelWorkspace()
+        row = np.broadcast_to(pi[3], pi.shape)
+        got = np.array(FUSED.link_probability(row, pi, beta, 1e-7, workspace=ws))
+        pairwise = np.array(
+            FUSED.link_probability(np.tile(pi[3], (n, 1)), pi, beta, 1e-7)
+        )
+        np.testing.assert_array_equal(got, pairwise)

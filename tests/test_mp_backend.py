@@ -96,3 +96,47 @@ class TestMultiprocess:
             snap = s.state_snapshot()
         assert snap.pi.dtype == np.float32
         snap.validate()
+
+
+class TestArtifactPublishing:
+    """The training loop can feed a serving process through the filesystem."""
+
+    def test_periodic_publish(self, problem, tmp_path):
+        from repro.serve.artifact import load_artifact
+
+        split, cfg = problem
+        pub = tmp_path / "live.npz"
+        with MultiprocessAMMSBSampler(
+            split.train, cfg, n_workers=2,
+            publish_path=pub, publish_every=2,
+        ) as s:
+            s.run(5)
+            art = load_artifact(pub)
+            assert art.iteration == 4  # last multiple of publish_every
+            assert art.n_nodes == split.train.n_vertices
+            art.validate()
+            # one more step crosses the next publish boundary
+            s.run(1)
+            assert load_artifact(pub).iteration == 6
+
+    def test_explicit_publish_and_hot_swap(self, problem, tmp_path):
+        from repro.serve.artifact import load_artifact
+        from repro.serve.server import ModelServer
+
+        split, cfg = problem
+        with MultiprocessAMMSBSampler(split.train, cfg, n_workers=2) as s:
+            s.run(2)
+            first = load_artifact(s.publish_artifact(tmp_path / "a.npz"))
+            with ModelServer(first, n_workers=0) as server:
+                s.run(2)
+                second = load_artifact(s.publish_artifact(tmp_path / "a.npz"))
+                assert second.version != first.version
+                gen = server.publish(second)
+                assert gen == 1
+                assert server.artifact.iteration == 4
+
+    def test_publish_without_path_rejected(self, problem):
+        split, cfg = problem
+        with MultiprocessAMMSBSampler(split.train, cfg, n_workers=2) as s:
+            with pytest.raises(ValueError, match="no publish path"):
+                s.publish_artifact()

@@ -1,0 +1,211 @@
+"""Serving artifacts: round-trip, versioning, typed errors, atomicity."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.config import AMMSBConfig
+from repro.core.sampler import AMMSBSampler
+from repro.core.state import init_state
+from repro.serve.artifact import (
+    ArtifactError,
+    build_artifact,
+    export_artifact,
+    export_from_sampler,
+    load_artifact,
+    save_artifact,
+)
+
+
+@pytest.fixture()
+def small_state(config):
+    rng = np.random.default_rng(3)
+    return init_state(50, config, rng)
+
+
+class TestBuildArtifact:
+    def test_pi_is_renormalized_copy(self, small_state, config):
+        art = build_artifact(small_state, config)
+        np.testing.assert_allclose(art.pi.sum(axis=1), 1.0, atol=1e-12)
+        small_state.pi[0, 0] = 123.0  # caller keeps mutating
+        assert art.pi[0, 0] != 123.0
+
+    def test_beta_matches_theta(self, small_state, config):
+        art = build_artifact(small_state, config)
+        np.testing.assert_array_equal(
+            art.beta, art.theta[:, 1] / art.theta.sum(axis=1)
+        )
+
+    def test_top_communities_are_the_argmax_rows(self, small_state, config):
+        art = build_artifact(small_state, config, top_k=3)
+        for row in range(art.n_nodes):
+            expect = np.argsort(-art.pi[row], kind="stable")[:3]
+            np.testing.assert_array_equal(
+                np.sort(art.top_communities[row]), np.sort(expect)
+            )
+            np.testing.assert_array_equal(
+                art.top_weights[row], art.pi[row, art.top_communities[row]]
+            )
+            assert np.all(np.diff(art.top_weights[row]) <= 0)
+
+    def test_top_k_clamped_to_K(self, small_state, config):
+        art = build_artifact(small_state, config, top_k=999)
+        assert art.top_communities.shape[1] == config.n_communities
+
+    def test_version_is_deterministic_content_hash(self, small_state, config):
+        a = build_artifact(small_state, config)
+        b = build_artifact(small_state, config)
+        assert a.version == b.version and len(a.version) == 16
+        perturbed = init_state(50, config, np.random.default_rng(4))
+        c = build_artifact(perturbed, config)
+        assert c.version != a.version
+
+    def test_custom_node_ids(self, small_state, config):
+        ids = np.arange(50, dtype=np.int64) * 7 + 3
+        art = build_artifact(small_state, config, node_ids=ids)
+        assert art.row_of(3) == 0 and art.row_of(10) == 1
+        with pytest.raises(KeyError, match="unknown node id"):
+            art.row_of(4)
+        np.testing.assert_array_equal(
+            art.rows_of(np.array([[3, 10], [17, 3]])), [[0, 1], [2, 0]]
+        )
+
+    def test_identity_ids_range_checked(self, small_state, config):
+        art = build_artifact(small_state, config)
+        with pytest.raises(KeyError):
+            art.rows_of(np.array([0, 50]))
+        with pytest.raises(KeyError):
+            art.rows_of(np.array([-1]))
+
+    def test_wrong_node_id_count_rejected(self, small_state, config):
+        with pytest.raises(ValueError, match="one entry per pi row"):
+            build_artifact(small_state, config, node_ids=np.arange(49))
+
+
+class TestRoundTrip:
+    def test_save_load_round_trip(self, small_state, config, tmp_path):
+        path = export_artifact(
+            tmp_path / "a.npz", small_state, config, iteration=17
+        )
+        art = load_artifact(path)
+        ref = build_artifact(small_state, config, iteration=17)
+        assert art.version == ref.version
+        assert art.iteration == 17
+        assert art.config == config
+        np.testing.assert_array_equal(art.pi, ref.pi)
+        np.testing.assert_array_equal(art.theta, ref.theta)
+        np.testing.assert_array_equal(art.beta, ref.beta)
+        np.testing.assert_array_equal(art.top_communities, ref.top_communities)
+
+    def test_float32_round_trip(self, tmp_path):
+        cfg = AMMSBConfig(n_communities=4, dtype="float32")
+        state = init_state(30, cfg, np.random.default_rng(0))
+        path = export_artifact(tmp_path / "f32.npz", state, cfg)
+        art = load_artifact(path)
+        assert art.pi.dtype == np.float32
+        assert art.config.dtype == "float32"
+
+    def test_export_from_sampler(self, planted, config, tmp_path):
+        graph, _ = planted
+        s = AMMSBSampler(graph, config)
+        s.run(3)
+        path = export_from_sampler(tmp_path / "s.npz", s)
+        art = load_artifact(path)
+        assert art.iteration == 3
+        assert art.n_nodes == graph.n_vertices
+
+    def test_atomic_overwrite_no_temp_files(self, small_state, config, tmp_path):
+        export_artifact(tmp_path / "x.npz", small_state, config)
+        export_artifact(tmp_path / "x.npz", small_state, config)
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["x.npz"]
+
+
+def _tamper(path, mutate_meta=None, drop=None, mutate_arrays=None):
+    with np.load(str(path)) as data:
+        meta = json.loads(str(data["_meta"]))
+        arrays = {
+            k: data[k].copy() for k in data.files
+            if k != "_meta" and k != drop
+        }
+    if mutate_meta:
+        mutate_meta(meta)
+    if mutate_arrays:
+        mutate_arrays(arrays)
+    np.savez_compressed(str(path), _meta=json.dumps(meta), **arrays)
+
+
+class TestArtifactErrors:
+    @pytest.fixture()
+    def saved(self, small_state, config, tmp_path):
+        return export_artifact(tmp_path / "e.npz", small_state, config)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ArtifactError, match="does not exist") as ei:
+            load_artifact(tmp_path / "nope.npz")
+        assert ei.value.path == tmp_path / "nope.npz"
+
+    def test_garbage_file(self, tmp_path):
+        bad = tmp_path / "junk.npz"
+        bad.write_bytes(b"not a zip")
+        with pytest.raises(ArtifactError, match="corrupt"):
+            load_artifact(bad)
+
+    def test_wrong_schema(self, saved):
+        _tamper(saved, mutate_meta=lambda m: m.update(schema="bogus/9"))
+        with pytest.raises(ArtifactError, match="expected schema"):
+            load_artifact(saved)
+
+    def test_wrong_format_version(self, saved):
+        _tamper(saved, mutate_meta=lambda m: m.update(version=999))
+        with pytest.raises(ArtifactError, match="unsupported artifact version"):
+            load_artifact(saved)
+
+    def test_missing_array(self, saved):
+        _tamper(saved, drop="beta")
+        with pytest.raises(ArtifactError, match="missing array 'beta'"):
+            load_artifact(saved)
+
+    def test_tampered_config(self, saved):
+        def strip_field(m):
+            cfg = json.loads(m["config"])
+            cfg.pop("delta")
+            m["config"] = json.dumps(cfg)
+
+        _tamper(saved, mutate_meta=strip_field)
+        with pytest.raises(ArtifactError, match="missing config field"):
+            load_artifact(saved)
+
+    def test_invalid_snapshot_rejected(self, saved):
+        def poison(arrays):
+            arrays["pi"][0] = -1.0
+
+        _tamper(saved, mutate_arrays=poison)
+        with pytest.raises(ArtifactError, match="invalid snapshot"):
+            load_artifact(saved)
+
+    def test_error_is_a_value_error(self, tmp_path):
+        with pytest.raises(ValueError):
+            load_artifact(tmp_path / "x.npz")
+
+
+class TestValidate:
+    def test_validate_passes_on_built(self, small_state, config):
+        build_artifact(small_state, config).validate()
+
+    def test_duplicate_node_ids_rejected(self, small_state, config, tmp_path):
+        art = build_artifact(small_state, config)
+        bad_ids = art.node_ids.copy()
+        bad_ids[1] = bad_ids[0]
+        path = save_artifact(
+            tmp_path / "d.npz",
+            type(art)(
+                config=art.config, pi=art.pi, theta=art.theta, beta=art.beta,
+                node_ids=bad_ids, top_communities=art.top_communities,
+                top_weights=art.top_weights, version=art.version,
+            ),
+        )
+        with pytest.raises(ArtifactError, match="unique"):
+            load_artifact(path)
