@@ -17,16 +17,30 @@ The JSON report (``BENCH_serve.json``) embeds the full
 :class:`~repro.serve.metrics.ServerMetrics` snapshot (per-endpoint QPS,
 p50/p99 latency, cache hit rate, batching stats) plus the acceptance
 verdict: sustained batched link-probability queries/sec against the 50k/s
-target. Everything is seeded; quick mode shrinks the workload for CI but
-keeps the same shape.
+target. Every terminal request outcome is counted in a typed taxonomy
+(completed / errored / shed / deadline-exceeded / overloaded /
+degraded-answer) so resilience overhead on the happy path stays pinned
+next to throughput. Everything is seeded; quick mode shrinks the
+workload for CI but keeps the same shape.
+
+``run_chaos_serve`` is the serving counterpart of the training chaos
+drill: a seeded :class:`~repro.faults.ServeFaultPlan` (two corrupt
+publish payloads, a mid-swap failure, a worker-thread crash, engine
+latency spikes) runs against a live server under this load generator,
+and the report asserts the recovery invariants the ISSUE demands —
+server survives, rolls back to last-known-good, respawns the dead
+worker, quarantines the damage, and accounts for every request with a
+typed error (zero silent drops).
 """
 
 from __future__ import annotations
 
 import json
+import tempfile
 import threading
 import time
-from dataclasses import dataclass
+from collections import deque
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Optional
 
@@ -34,7 +48,8 @@ import numpy as np
 
 from repro.config import AMMSBConfig
 
-SCHEMA = "repro-serve-bench/1"
+SCHEMA = "repro-serve-bench/2"
+CHAOS_SCHEMA = "repro-chaos-serve/1"
 
 #: acceptance target: sustained batched link-probability queries/sec.
 TARGET_QUERIES_PER_S = 50_000.0
@@ -124,6 +139,9 @@ class _ClientResult:
     queries: int = 0
     errors: int = 0
     overloads: int = 0
+    sheds: int = 0
+    deadline_exceeded: int = 0
+    error_types: set = field(default_factory=set)
 
 
 def _client_loop(
@@ -136,8 +154,17 @@ def _client_loop(
     answered_counter: list[int],
     counter_lock: threading.Lock,
 ) -> None:
-    """Closed-loop client: bounded pipeline of outstanding requests."""
-    from repro.serve.server import ServerOverloaded
+    """Closed-loop client: bounded pipeline of outstanding requests.
+
+    Every terminal outcome lands in exactly one taxonomy bucket:
+    completed, deadline-exceeded (typed, no retry — the answer is
+    already worthless), or errored (with the exception type recorded).
+    Backpressure (:class:`ServerOverloaded`) and shedding
+    (:class:`RequestShed`) are retried with backoff and *counted*, but a
+    request that exhausts its retry budget becomes a counted error —
+    never a silent drop.
+    """
+    from repro.serve.server import DeadlineExceeded, RequestShed, ServerOverloaded
 
     outstanding: list[tuple] = []
 
@@ -153,6 +180,7 @@ def _client_loop(
                 )
                 if not ok:
                     result.errors += 1
+                    result.error_types.add("BadAnswer")
                     continue
                 result.completed += 1
                 result.queries += n_pairs
@@ -160,18 +188,28 @@ def _client_loop(
                     answered_counter[0] += 1
                     if answered_counter[0] >= answer_threshold:
                         answered.set()
-            except Exception:  # noqa: BLE001 - counted, not raised
+            except DeadlineExceeded:
+                result.deadline_exceeded += 1
+            except Exception as exc:  # noqa: BLE001 - counted, not raised
                 result.errors += 1
+                result.error_types.add(type(exc).__name__)
 
     for pairs in schedule:
-        while True:
+        fut = None
+        for _attempt in range(2000):  # bounded: a dead server can't hang us
             try:
                 fut = server.link_probability(pairs)
                 break
             except ServerOverloaded:
                 result.overloads += 1
-                drain(block_all=False)
-                time.sleep(0.0005)
+            except RequestShed:
+                result.sheds += 1
+            drain(block_all=False)
+            time.sleep(0.0005)
+        if fut is None:  # retry budget exhausted: counted, not dropped
+            result.errors += 1
+            result.error_types.add("RetriesExhausted")
+            continue
         outstanding.append((fut, len(pairs)))
         drain(block_all=False)
     drain(block_all=True)
@@ -181,8 +219,16 @@ def run_serve_bench(
     quick: bool = False,
     seed: int = 0,
     workload: Optional[ServeWorkload] = None,
+    faults=None,
+    shed_policy=None,
+    default_deadline_ms: Optional[float] = None,
 ) -> dict[str, Any]:
-    """Run the load generator; returns the JSON-ready report."""
+    """Run the load generator; returns the JSON-ready report.
+
+    ``faults`` / ``shed_policy`` / ``default_deadline_ms`` pass straight
+    through to :class:`~repro.serve.server.ModelServer`; the defaults
+    keep the happy-path bench bit-identical to a plain server.
+    """
     from repro.serve.server import ModelServer
 
     w = workload if workload is not None else (QUICK if quick else FULL)
@@ -217,6 +263,9 @@ def run_serve_bench(
         max_delay_ms=0.2,
         queue_limit=max(256, 4 * w.n_clients * w.pipeline_depth),
         cache_size=2 * w.pool_size,
+        faults=faults,
+        shed_policy=shed_policy,
+        default_deadline_ms=default_deadline_ms,
     )
     swap_info: dict[str, Any] = {"performed": False}
 
@@ -258,7 +307,10 @@ def run_serve_bench(
     queries = sum(r.queries for r in results)
     errors = sum(r.errors for r in results)
     overloads = sum(r.overloads for r in results)
-    dropped = w.total_requests - completed - errors
+    sheds = sum(r.sheds for r in results)
+    deadline_exceeded = sum(r.deadline_exceeded for r in results)
+    error_types = sorted(set().union(*(r.error_types for r in results)))
+    dropped = w.total_requests - completed - errors - deadline_exceeded
     queries_per_s = queries / elapsed if elapsed > 0 else 0.0
     lp = stats["endpoints"].get("link_probability", {})
 
@@ -283,8 +335,12 @@ def run_serve_bench(
             "requests_per_s": completed / elapsed if elapsed > 0 else 0.0,
             "queries_per_s": queries_per_s,
             "errors": errors,
+            "error_types": error_types,
             "dropped": dropped,
             "overload_rejections": overloads,
+            "shed_rejections": sheds,
+            "deadline_exceeded": deadline_exceeded,
+            "degraded_answers": stats["resilience"]["degraded_answers"],
             "p50_ms": lp.get("p50_ms", 0.0),
             "p99_ms": lp.get("p99_ms", 0.0),
             "cache_hit_rate": stats["cache"]["hit_rate"],
@@ -316,12 +372,232 @@ def report_rows(report: dict[str, Any]) -> list[dict[str, Any]]:
         {"metric": "errors", "value": r["errors"]},
         {"metric": "dropped", "value": r["dropped"]},
         {"metric": "overload rejections", "value": r["overload_rejections"]},
+        {"metric": "shed rejections", "value": r["shed_rejections"]},
+        {"metric": "deadline exceeded", "value": r["deadline_exceeded"]},
+        {"metric": "degraded answers", "value": r["degraded_answers"]},
         {"metric": "hot-swap clean", "value": str(hs["zero_dropped_or_errored"])},
         {
             "metric": f"meets {TARGET_QUERIES_PER_S:.0f} q/s target",
             "value": str(report["acceptance"]["meets_target"]),
         },
     ]
+
+
+def run_chaos_serve(quick: bool = True, seed: int = 2026) -> dict[str, Any]:
+    """The serving chaos drill: a seeded fault plan against a live server.
+
+    While the closed-loop clients hammer link-probability, the drill
+    attempts four publishes: a truncated file (archive-layer corruption),
+    a payload-swapped file (only the SHA-256 verify can catch it), a
+    clean file whose swap fails mid-flight (rolls back to last-known-
+    good), and a clean file that must install. Meanwhile the fault plan
+    crashes a worker thread (the watchdog must respawn it) and injects
+    engine latency spikes; a post-load burst of microscopic deadlines
+    proves deadline enforcement. The report's ``invariants`` section is
+    the acceptance contract — ``passed`` is their conjunction.
+    """
+    from repro.faults import chaos_serve_plan
+    from repro.serve.artifact import ArtifactCorrupt, save_artifact
+    from repro.serve.server import (
+        DeadlineExceeded,
+        ModelServer,
+        ShedPolicy,
+        SwapFailed,
+    )
+
+    w = ServeWorkload(
+        n_vertices=600 if quick else 2000,
+        n_communities=16 if quick else 32,
+        n_clients=2,
+        requests_per_client=250 if quick else 1000,
+        pairs_per_request=16 if quick else 32,
+        pool_size=64 if quick else 128,
+    )
+    plan = chaos_serve_plan(seed=seed, n_workers=2)
+    artifact = synthetic_artifact(w.n_vertices, w.n_communities, seed)
+    v0 = artifact.version
+
+    rng = np.random.default_rng(seed)
+    pool = _request_pool(rng, w)
+    schedules = [
+        [
+            pool[i]
+            for i in _zipf_indices(
+                np.random.default_rng(seed + 100 + c),
+                w.pool_size,
+                w.requests_per_client,
+                w.zipf_exponent,
+            )
+        ]
+        for c in range(w.n_clients)
+    ]
+    results = [_ClientResult() for _ in range(w.n_clients)]
+    never = threading.Event()  # the drill performs its own swaps
+
+    start = time.perf_counter()
+    with tempfile.TemporaryDirectory() as tmpdir:
+        server = ModelServer(
+            artifact,
+            n_workers=2,
+            max_batch=16,
+            max_delay_ms=0.2,
+            queue_limit=512,
+            cache_size=4 * w.pool_size,
+            faults=plan,
+            shed_policy=ShedPolicy(),
+            stall_timeout_s=2.0,
+            watchdog_interval_s=0.05,
+        )
+        threads = [
+            threading.Thread(
+                target=_client_loop,
+                args=(
+                    server, schedules[c], w.pipeline_depth, results[c],
+                    never, w.total_requests + 1, [0], threading.Lock(),
+                ),
+                name=f"chaos-client-{c}",
+            )
+            for c in range(w.n_clients)
+        ]
+        for t in threads:
+            t.start()
+        time.sleep(0.05)  # let traffic build before the first publish
+
+        outcomes: list[dict[str, Any]] = []
+        version_after_rollback = None
+        final_version = None
+        for attempt in range(4):
+            payload = perturbed_artifact(artifact, seed + 10 + attempt)
+            path = save_artifact(Path(tmpdir) / f"swap{attempt}.npz", payload)
+            mode = plan.artifact_fault(attempt)
+            if mode is not None:
+                plan.corrupt_file(path, mode)
+            try:
+                gen = server.publish_path(path)
+                outcomes.append(
+                    {"attempt": attempt, "outcome": "published", "generation": gen}
+                )
+                final_version = payload.version
+            except ArtifactCorrupt as exc:
+                outcomes.append(
+                    {
+                        "attempt": attempt,
+                        "outcome": "quarantined",
+                        "mode": mode,
+                        "quarantined_as": Path(exc.quarantined).name,
+                    }
+                )
+            except SwapFailed as exc:
+                outcomes.append(
+                    {
+                        "attempt": attempt,
+                        "outcome": "rolled_back",
+                        "serving_version": exc.serving_version,
+                    }
+                )
+                version_after_rollback = server.artifact.version
+            time.sleep(0.05)
+
+        for t in threads:
+            t.join()
+
+        # deadline burst: microscopic deadlines on distinct (uncached)
+        # membership queries — queue wait alone must expire most of them.
+        burst = [
+            server.membership(i % w.n_vertices, deadline_ms=0.005)
+            for i in range(100)
+        ]
+        deadline_hits = completed_in_burst = 0
+        for fut in burst:
+            try:
+                fut.result(timeout=30.0)
+                completed_in_burst += 1
+            except DeadlineExceeded:
+                deadline_hits += 1
+
+        health = server.health()
+        final_answer_ok = server.query("membership", 0, timeout=30.0) is not None
+        stats = server.stats()
+        quarantined_files = sorted(
+            p.name for p in Path(tmpdir).glob("*.quarantined*")
+        )
+        server.close()
+    elapsed = time.perf_counter() - start
+
+    completed = sum(r.completed for r in results)
+    errors = sum(r.errors for r in results)
+    deadline_exceeded = sum(r.deadline_exceeded for r in results)
+    error_types = sorted(set().union(*(r.error_types for r in results)))
+    dropped = w.total_requests - completed - errors - deadline_exceeded
+    res = stats["resilience"]
+
+    by_attempt = {o["attempt"]: o["outcome"] for o in outcomes}
+    invariants = {
+        "server_survived": bool(health["healthy"]) and final_answer_ok,
+        "corrupt_publishes_quarantined": (
+            by_attempt.get(0) == "quarantined"
+            and by_attempt.get(1) == "quarantined"
+            and len(quarantined_files) == 2
+            and res["quarantines"] == 2
+        ),
+        "rolled_back_to_last_known_good": (
+            by_attempt.get(2) == "rolled_back"
+            and version_after_rollback == v0
+            and res["rollbacks"] >= 1
+        ),
+        "final_publish_installed": (
+            by_attempt.get(3) == "published"
+            and stats["artifact"]["version"] == final_version
+        ),
+        "worker_respawned": res["worker_respawns"] >= 1,
+        "deadline_enforced": deadline_hits >= 1,
+        "zero_silent_drops": dropped == 0,
+        "typed_errors_only": set(error_types) <= {"WorkerCrashed"},
+    }
+    return {
+        "schema": CHAOS_SCHEMA,
+        "quick": bool(quick),
+        "seed": int(seed),
+        "plan": plan.describe(),
+        "elapsed_seconds": elapsed,
+        "passed": all(invariants.values()),
+        "invariants": invariants,
+        "publish_attempts": outcomes,
+        "quarantined_files": quarantined_files,
+        "client": {
+            "requests": w.total_requests,
+            "completed": completed,
+            "errors": errors,
+            "error_types": error_types,
+            "deadline_exceeded": deadline_exceeded,
+            "shed_rejections": sum(r.sheds for r in results),
+            "overload_rejections": sum(r.overloads for r in results),
+            "dropped": dropped,
+        },
+        "deadline_burst": {
+            "sent": len(burst),
+            "deadline_exceeded": deadline_hits,
+            "completed": completed_in_burst,
+        },
+        "server": stats,
+    }
+
+
+def chaos_report_rows(report: dict[str, Any]) -> list[dict[str, Any]]:
+    """Flatten the drill verdicts for :func:`repro.bench.harness.format_table`."""
+    rows = [
+        {"metric": f"invariant: {name}", "value": str(ok)}
+        for name, ok in report["invariants"].items()
+    ]
+    c = report["client"]
+    rows += [
+        {"metric": "requests completed", "value": c["completed"]},
+        {"metric": "typed errors", "value": c["errors"]},
+        {"metric": "deadline exceeded", "value": c["deadline_exceeded"]},
+        {"metric": "worker respawns", "value": report["server"]["resilience"]["worker_respawns"]},
+        {"metric": "drill passed", "value": str(report["passed"])},
+    ]
+    return rows
 
 
 def save_report(report: dict[str, Any], path) -> None:

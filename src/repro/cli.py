@@ -15,6 +15,10 @@ Subcommands:
 - ``repro chaos`` — run the fault-injection drill (worker crash, DKV
   server stall, RDMA failures) against the multiprocess backend and
   report the recovery;
+- ``repro chaos-serve`` — run the serving-tier chaos drill (corrupt
+  publishes, mid-swap failure, worker-thread crash, latency spikes)
+  against a live model server under load and assert the recovery
+  invariants;
 - ``repro query`` — answer one model query (membership / link /
   community / recommend) from a serving artifact;
 - ``repro serve`` — stand up the micro-batching model server and answer
@@ -382,9 +386,11 @@ def _serve_dispatch(server, line: str) -> str:
         return "\n".join(f"{n} {s:.6g}" for n, s in ranked)
     if cmd == "stats":
         return json.dumps(server.stats(), indent=2, sort_keys=True)
+    if cmd == "health":
+        return json.dumps(server.health(), indent=2, sort_keys=True)
     raise ValueError(
         f"unknown command {cmd!r}; known: link membership community "
-        f"recommend stats quit"
+        f"recommend stats health quit"
     )
 
 
@@ -396,18 +402,25 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     Errors are reported per line; the server keeps running.
     """
     from repro.serve.artifact import ArtifactError, load_artifact
-    from repro.serve.server import ModelServer
+    from repro.serve.server import ModelServer, ShedPolicy
 
     try:
         artifact = load_artifact(args.artifact)
     except ArtifactError as exc:
         print(f"cannot load artifact: {exc}", file=sys.stderr)
         return 3
+    shed_policy = (
+        ShedPolicy(slo_p99_ms=args.slo_p99_ms)
+        if args.slo_p99_ms is not None
+        else None
+    )
     with ModelServer(
         artifact,
         n_workers=args.workers,
         max_batch=args.max_batch,
         max_delay_ms=args.max_delay_ms,
+        default_deadline_ms=args.deadline_ms,
+        shed_policy=shed_policy,
     ) as server:
         print(
             f"serving {artifact.n_nodes} nodes x {artifact.n_communities} "
@@ -441,6 +454,34 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
     if not report["hot_swap"]["zero_dropped_or_errored"]:
         print("FAIL: queries dropped or errored under load", file=sys.stderr)
         return 2
+    return 0
+
+
+def _cmd_chaos_serve(args: argparse.Namespace) -> int:
+    """Serving-tier chaos drill: corrupt publishes, a mid-swap failure,
+    a worker-thread crash, and latency spikes against a live server
+    under load; exit 2 unless every recovery invariant holds."""
+    import json
+
+    from repro.bench import servebench
+    from repro.bench.harness import format_table
+
+    report = servebench.run_chaos_serve(quick=args.quick, seed=args.seed)
+    print(f"drill plan: {report['plan']}", file=sys.stderr)
+    print(format_table(
+        servebench.chaos_report_rows(report), title="Serving chaos drill"
+    ))
+    if args.output:
+        Path(args.output).write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {args.output}", file=sys.stderr)
+    if not report["passed"]:
+        failed = [k for k, ok in report["invariants"].items() if not ok]
+        print(f"FAIL: recovery invariant(s) violated: {failed}", file=sys.stderr)
+        return 2
+    print("drill passed: server survived corruption, rollback, crash, "
+          "and deadlines with typed errors only", file=sys.stderr)
     return 0
 
 
@@ -573,6 +614,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=2)
     p.add_argument("--max-batch", type=int, default=64)
     p.add_argument("--max-delay-ms", type=float, default=1.0)
+    p.add_argument("--deadline-ms", type=float, default=None,
+                   help="fail requests queued longer than this (default: none)")
+    p.add_argument("--slo-p99-ms", type=float, default=None,
+                   help="enable SLO load shedding at this p99 target "
+                        "(default: shedding off)")
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("bench-serve", help="run the serving load-generator bench")
@@ -600,6 +646,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--rdma-failure-rate", type=float, default=0.05)
     p.add_argument("--heartbeat-timeout", type=float, default=15.0)
     p.set_defaults(func=_cmd_chaos)
+
+    p = sub.add_parser("chaos-serve",
+                       help="run the serving-tier chaos drill")
+    p.add_argument("--quick", action="store_true",
+                   help="smaller load (for CI)")
+    p.add_argument("--seed", type=int, default=2026)
+    p.add_argument("--output", "-o", default=None,
+                   help="write the machine-readable drill report JSON here")
+    p.set_defaults(func=_cmd_chaos_serve)
 
     return parser
 

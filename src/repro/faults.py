@@ -21,18 +21,28 @@ distributed layer consumes:
   detected by the master's heartbeat and healed by re-partitioning the
   dead worker's shard across survivors.
 
-Determinism: the plan owns its own RNG streams (seeded at construction),
-so a fixed plan produces a fixed fault sequence, independent of the model
-RNG streams. An *empty* plan (no faults configured) is guaranteed to be a
-no-op: every consumer bypasses the fault paths entirely, so runs are
-bit-identical to a build without this module.
+The serving tier has its own fault domain (:class:`ServeFaultPlan`):
+artifact corruption/truncation on disk, worker-*thread* crashes and
+stalls inside :class:`~repro.serve.server.ModelServer`, engine latency
+spikes, and swap-time publish failures. The serve consumers mirror the
+training discipline — typed errors, watchdog respawn, last-known-good
+rollback — see :mod:`repro.serve.server` and DESIGN.md §8.
+
+Determinism: each plan owns its own RNG streams (seeded at
+construction), so a fixed plan produces a fixed fault sequence,
+independent of the model RNG streams. An *empty* plan (no faults
+configured) is guaranteed to be a no-op: every consumer bypasses the
+fault paths entirely, so runs are bit-identical to a build without this
+module.
 """
 
 from __future__ import annotations
 
 import math
+import threading
 from dataclasses import dataclass
-from typing import Iterable, Optional, Sequence
+from pathlib import Path
+from typing import Iterable, Optional, Sequence, Union
 
 import numpy as np
 
@@ -320,4 +330,277 @@ def chaos_plan(
         server_stalls=(ServerStall(stall_server, stall_start, stall_duration),),
         worker_crashes=(WorkerCrash(victim, crash_iteration),),
         rdma_failure_rate=rdma_failure_rate,
+    )
+
+
+# -- serving-tier fault domain ----------------------------------------------
+
+#: supported on-disk artifact corruption modes (see ServeFaultPlan.corrupt_file).
+ARTIFACT_FAULT_MODES = ("flip", "truncate", "payload")
+
+
+@dataclass(frozen=True)
+class ArtifactFault:
+    """Corrupt the artifact file used by the ``publish``-th publish attempt.
+
+    ``mode`` selects the damage: ``flip`` XORs bytes mid-archive (caught
+    by the zip CRC layer), ``truncate`` cuts the file short (caught by
+    the archive opener), ``payload`` rewrites the arrays while keeping
+    the recorded content version (caught only by the SHA-256 verify).
+    """
+
+    publish: int
+    mode: str = "flip"
+
+    def __post_init__(self) -> None:
+        if self.publish < 0:
+            raise ValueError("publish must be >= 0")
+        if self.mode not in ARTIFACT_FAULT_MODES:
+            raise ValueError(f"mode must be one of {ARTIFACT_FAULT_MODES}")
+
+
+@dataclass(frozen=True)
+class ServeWorkerCrash:
+    """Serve worker thread ``worker`` dies starting its ``batch``-th batch.
+
+    Batch counters are per worker *slot* and survive a respawn (the
+    replacement thread inherits the counter), so a scheduled crash fires
+    exactly once.
+    """
+
+    worker: int
+    batch: int
+
+    def __post_init__(self) -> None:
+        if self.worker < 0 or self.batch < 0:
+            raise ValueError("worker and batch must be >= 0")
+
+
+@dataclass(frozen=True)
+class ServeWorkerStall:
+    """Serve worker thread ``worker`` stalls ``seconds`` at its
+    ``batch``-th batch (real wall-clock seconds, holding the batch)."""
+
+    worker: int
+    batch: int
+    seconds: float
+
+    def __post_init__(self) -> None:
+        if self.worker < 0 or self.batch < 0:
+            raise ValueError("worker and batch must be >= 0")
+        if self.seconds < 0:
+            raise ValueError("seconds must be >= 0")
+
+
+@dataclass(frozen=True)
+class SwapFailure:
+    """The server's ``publish``-th accepted publish fails mid-swap
+    (after the new artifact is installed, before the swap commits)."""
+
+    publish: int
+
+    def __post_init__(self) -> None:
+        if self.publish < 0:
+            raise ValueError("publish must be >= 0")
+
+
+class ServeFaultPlan:
+    """A seeded, deterministic schedule of serving-tier faults.
+
+    Consumed by :class:`~repro.serve.server.ModelServer` (worker
+    crashes/stalls, swap failures), :class:`~repro.serve.engine.QueryEngine`
+    (latency spikes), and the chaos-serve drill
+    (:func:`repro.bench.servebench.run_chaos_serve`, artifact
+    corruption). Mirrors :class:`FaultPlan`: private RNG streams, an
+    empty plan is a guaranteed no-op, and a fixed plan reproduces a
+    fixed fault sequence (``tests/test_serve_faults.py`` pins this with
+    hypothesis).
+
+    Args:
+        seed: seed of the plan's private RNG streams.
+        artifact_faults: on-disk corruption of publish payloads,
+            indexed by the *drill's* publish-attempt counter.
+        worker_crashes: serve worker-thread deaths at a per-slot batch
+            index.
+        worker_stalls: serve worker-thread stalls at a per-slot batch
+            index.
+        swap_failures: mid-swap failures, indexed by the *server's*
+            accepted-publish counter.
+        spike_rate: i.i.d. probability that one engine call sleeps
+            ``spike_seconds`` (latency spike).
+        spike_seconds: duration of one injected latency spike.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        artifact_faults: Iterable[ArtifactFault] = (),
+        worker_crashes: Iterable[ServeWorkerCrash] = (),
+        worker_stalls: Iterable[ServeWorkerStall] = (),
+        swap_failures: Iterable[SwapFailure] = (),
+        spike_rate: float = 0.0,
+        spike_seconds: float = 0.0,
+    ) -> None:
+        if not 0.0 <= spike_rate < 1.0:
+            raise ValueError("spike_rate must be in [0, 1)")
+        if spike_seconds < 0.0:
+            raise ValueError("spike_seconds must be >= 0")
+        self.seed = int(seed)
+        self.artifact_faults = tuple(artifact_faults)
+        self.worker_crashes = tuple(worker_crashes)
+        self.worker_stalls = tuple(worker_stalls)
+        self.swap_failures = tuple(swap_failures)
+        self.spike_rate = float(spike_rate)
+        self.spike_seconds = float(spike_seconds)
+        # Private streams; the lock makes draws safe from concurrent serve
+        # worker threads (the *sequence* of draws stays deterministic).
+        self._rng_lock = threading.Lock()
+        self._spike_rng = np.random.default_rng(self.seed + 0x5E12)
+        self._corrupt_rng = np.random.default_rng(self.seed + 0xC0DE)
+        self.spike_draws = 0
+
+    @property
+    def empty(self) -> bool:
+        """True when nothing is scheduled — consumers must bypass every
+        fault path, keeping serving bit-identical to a plain build."""
+        return not (
+            self.artifact_faults
+            or self.worker_crashes
+            or self.worker_stalls
+            or self.swap_failures
+            or (self.spike_rate > 0.0 and self.spike_seconds > 0.0)
+        )
+
+    # -- engine latency spikes ----------------------------------------------
+
+    def engine_delay(self) -> float:
+        """Seconds of injected latency for one engine call (usually 0)."""
+        if self.spike_rate <= 0.0 or self.spike_seconds <= 0.0:
+            return 0.0
+        with self._rng_lock:
+            self.spike_draws += 1
+            hit = bool(self._spike_rng.random() < self.spike_rate)
+        return self.spike_seconds if hit else 0.0
+
+    # -- worker-thread lifecycle --------------------------------------------
+
+    def worker_crash_due(self, worker: int, batch: int) -> bool:
+        """Should serve worker ``worker`` die starting batch ``batch``?"""
+        return any(
+            c.worker == worker and c.batch == batch for c in self.worker_crashes
+        )
+
+    def worker_stall_seconds(self, worker: int, batch: int) -> float:
+        """Total injected stall for serve worker ``worker`` at ``batch``."""
+        return sum(
+            s.seconds
+            for s in self.worker_stalls
+            if s.worker == worker and s.batch == batch
+        )
+
+    # -- publish / artifact faults ------------------------------------------
+
+    def swap_fails(self, publish: int) -> bool:
+        """Does the server's ``publish``-th accepted publish fail mid-swap?"""
+        return any(f.publish == publish for f in self.swap_failures)
+
+    def artifact_fault(self, publish: int) -> Optional[str]:
+        """Corruption mode scheduled for publish attempt ``publish``, if any."""
+        for f in self.artifact_faults:
+            if f.publish == publish:
+                return f.mode
+        return None
+
+    def corrupt_file(self, path: Union[str, Path], mode: str) -> None:
+        """Apply ``mode`` damage to the real file at ``path``.
+
+        Deterministic: the damaged bytes come from the plan's private
+        corruption stream, so a fixed plan applied to fixed bytes
+        produces a fixed corrupted file.
+        """
+        p = Path(path)
+        if mode not in ARTIFACT_FAULT_MODES:
+            raise ValueError(f"mode must be one of {ARTIFACT_FAULT_MODES}")
+        if mode == "truncate":
+            data = p.read_bytes()
+            p.write_bytes(data[: max(1, int(len(data) * 0.6))])
+            return
+        if mode == "flip":
+            data = bytearray(p.read_bytes())
+            with self._rng_lock:
+                # Damage the middle of the archive (member data, not the
+                # zip end-of-central-directory), so the file still *opens*
+                # and the CRC/verify layers have to catch it.
+                lo, hi = len(data) // 4, max(len(data) // 4 + 1, len(data) // 2)
+                offsets = self._corrupt_rng.integers(lo, hi, size=64)
+                masks = self._corrupt_rng.integers(1, 256, size=64)
+            for off, mask in zip(offsets, masks):
+                data[int(off)] ^= int(mask)
+            p.write_bytes(bytes(data))
+            return
+        # mode == "payload": rewrite a *structurally valid* archive whose
+        # arrays no longer match the recorded content version — swap two pi
+        # rows (all shape/simplex invariants still hold). Only the SHA-256
+        # verify layer can catch this one.
+        with np.load(p, allow_pickle=False) as data:
+            arrays = {key: data[key].copy() for key in data.files}
+        pi = arrays["pi"]
+        if pi.shape[0] >= 2:
+            pi[[0, 1]] = pi[[1, 0]]
+        else:  # pragma: no cover - degenerate single-row artifact
+            arrays["beta"] = arrays["beta"][::-1].copy()
+        np.savez(p, **arrays)
+
+    # -- display ------------------------------------------------------------
+
+    def describe(self) -> str:
+        if self.empty:
+            return "ServeFaultPlan(empty)"
+        parts = [f"seed={self.seed}"]
+        if self.artifact_faults:
+            modes = ",".join(f.mode for f in self.artifact_faults)
+            parts.append(f"{len(self.artifact_faults)} artifact fault(s) [{modes}]")
+        if self.worker_crashes:
+            parts.append(f"{len(self.worker_crashes)} worker crash(es)")
+        if self.worker_stalls:
+            parts.append(f"{len(self.worker_stalls)} worker stall(s)")
+        if self.swap_failures:
+            parts.append(f"{len(self.swap_failures)} swap failure(s)")
+        if self.spike_rate > 0.0 and self.spike_seconds > 0.0:
+            parts.append(
+                f"spikes {self.spike_rate:g}x{self.spike_seconds * 1e3:g}ms"
+            )
+        return "ServeFaultPlan(" + ", ".join(parts) + ")"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return self.describe()
+
+
+def chaos_serve_plan(
+    seed: int = 0,
+    n_workers: int = 2,
+    crash_batch: int = 3,
+    spike_rate: float = 0.05,
+    spike_seconds: float = 0.002,
+) -> ServeFaultPlan:
+    """The canonical serving chaos drill: two corrupt publish payloads
+    (one caught by the archive/CRC layer, one only by the SHA-256
+    verify), one mid-swap failure on the first publish the server
+    actually accepts, one worker-thread crash, and background engine
+    latency spikes — the acceptance scenario for ``repro chaos-serve``
+    and ``tests/test_serve_faults.py``."""
+    if n_workers < 1:
+        raise ValueError("serve chaos drill needs >= 1 worker thread")
+    rng = np.random.default_rng(seed)
+    victim = int(rng.integers(n_workers))
+    return ServeFaultPlan(
+        seed=seed,
+        artifact_faults=(
+            ArtifactFault(publish=0, mode="truncate"),
+            ArtifactFault(publish=1, mode="payload"),
+        ),
+        swap_failures=(SwapFailure(publish=0),),
+        worker_crashes=(ServeWorkerCrash(victim, crash_batch),),
+        spike_rate=spike_rate,
+        spike_seconds=spike_seconds,
     )

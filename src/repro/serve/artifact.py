@@ -23,15 +23,29 @@ tmp + fsync + ``os.replace`` machinery as checkpoints
 exports of the same posterior get the same version and a hot-swapped
 server can report exactly which model answered. Anything wrong at load
 time surfaces as a typed :class:`ArtifactError` naming the path.
+
+Integrity: :func:`load_artifact` *verifies* by default — it recomputes
+the SHA-256 content version from the loaded arrays and the stored config
+string and compares it to the recorded ``artifact_version``, on top of
+the archive's per-member CRC and :meth:`ModelArtifact.validate`. Damage
+of any kind (truncation, flipped bytes, or a structurally valid payload
+that silently differs from what was exported) raises
+:class:`ArtifactCorrupt`; callers that serve traffic quarantine the file
+(:func:`quarantine_artifact`) and fall back to the last-known-good entry
+tracked in an :class:`ArtifactRegistry`.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import os
+import zlib
+from collections import deque
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Optional, Union
+from zipfile import BadZipFile
 
 import numpy as np
 
@@ -64,6 +78,14 @@ class ArtifactError(ValueError):
         self.path = Path(path)
         self.reason = reason
         super().__init__(f"artifact {self.path}: {reason}")
+
+
+class ArtifactCorrupt(ArtifactError):
+    """The file exists and parses as *something*, but its payload is
+    damaged: CRC/decompression failure, broken model invariants, or a
+    content-version mismatch against the recorded SHA-256. The standard
+    response is :func:`quarantine_artifact` + last-known-good fallback,
+    never serving from it."""
 
 
 def _content_version(config_json: str, pi: np.ndarray, theta: np.ndarray) -> str:
@@ -277,17 +299,29 @@ def save_artifact(path: PathLike, artifact: ModelArtifact) -> Path:
     )
 
 
-def load_artifact(path: PathLike) -> ModelArtifact:
+def load_artifact(path: PathLike, verify: bool = True) -> ModelArtifact:
     """Load a serving artifact; no graph object required.
 
+    With ``verify=True`` (the default) the SHA-256 content version is
+    recomputed from the loaded arrays + stored config string and checked
+    against the recorded ``artifact_version`` — this catches payload
+    tampering that passes both the archive CRC and model invariants.
+
     Raises:
-        ArtifactError: missing/corrupt file, wrong schema or version,
-            missing arrays, or a snapshot that fails validation.
+        ArtifactCorrupt: damaged payload — CRC/decompression failure
+            while reading arrays, broken model invariants, or a
+            content-version mismatch.
+        ArtifactError: everything else — missing file, wrong schema or
+            format version, missing arrays, unreadable metadata.
     """
     p = Path(path)
     try:
         archive = _open_archive(p)
     except CheckpointError as exc:
+        # A file that exists but will not open is damage (truncation,
+        # garbage bytes); a missing file is an operator error.
+        if p.exists():
+            raise ArtifactCorrupt(p, exc.reason) from exc
         raise ArtifactError(p, exc.reason) from exc
     with archive as data:
         try:
@@ -296,6 +330,8 @@ def load_artifact(path: PathLike) -> ModelArtifact:
             raise ArtifactError(p, "missing _meta record") from exc
         except (json.JSONDecodeError, ValueError) as exc:
             raise ArtifactError(p, f"unreadable metadata ({exc})") from exc
+        except (BadZipFile, zlib.error, OSError, EOFError) as exc:
+            raise ArtifactCorrupt(p, f"corrupt metadata record ({exc})") from exc
         if meta.get("schema") != SCHEMA:
             raise ArtifactError(
                 p, f"expected schema {SCHEMA!r}, got {meta.get('schema')!r}"
@@ -318,6 +354,12 @@ def load_artifact(path: PathLike) -> ModelArtifact:
                 arrays[key] = data[key].copy()
             except KeyError as exc:
                 raise ArtifactError(p, f"missing array {key!r}") from exc
+            except (BadZipFile, zlib.error, OSError, EOFError, ValueError) as exc:
+                # npz member CRC/decompression failure: flipped or missing
+                # bytes inside the archive.
+                raise ArtifactCorrupt(
+                    p, f"corrupt array {key!r} ({exc})"
+                ) from exc
         artifact = ModelArtifact(
             config=config,
             iteration=int(meta.get("iteration", 0)),
@@ -327,5 +369,70 @@ def load_artifact(path: PathLike) -> ModelArtifact:
     try:
         artifact.validate()
     except ValueError as exc:
-        raise ArtifactError(p, f"invalid snapshot ({exc})") from exc
+        raise ArtifactCorrupt(p, f"invalid snapshot ({exc})") from exc
+    if verify:
+        recorded = str(meta.get("artifact_version", ""))
+        recomputed = _content_version(
+            str(meta["config"]), artifact.pi, artifact.theta
+        )
+        if recorded != recomputed:
+            raise ArtifactCorrupt(
+                p,
+                "content version mismatch "
+                f"(recorded {recorded!r}, recomputed {recomputed!r})",
+            )
     return artifact
+
+
+def quarantine_artifact(path: PathLike) -> Path:
+    """Move a damaged artifact aside (``<name>.quarantined[.N]``).
+
+    The rename keeps the evidence for post-mortems while guaranteeing no
+    later load can pick the bad file up again. Returns the new path.
+    """
+    p = Path(path)
+    dest = p.with_name(p.name + ".quarantined")
+    n = 0
+    while dest.exists():
+        n += 1
+        dest = p.with_name(f"{p.name}.quarantined.{n}")
+    os.replace(p, dest)
+    return dest
+
+
+class ArtifactRegistry:
+    """Bounded history of artifacts that were *successfully* installed.
+
+    The server records every artifact the moment it starts serving
+    traffic (the initial one and each committed ``publish``); when a
+    swap fails mid-flight, :meth:`previous` hands back the newest entry
+    with a *different* content version — the last-known-good snapshot to
+    roll back to. Not thread-safe; callers hold the server lock.
+    """
+
+    def __init__(self, capacity: int = 4) -> None:
+        if capacity < 2:
+            raise ValueError("registry needs capacity >= 2 to roll back")
+        self._entries: deque[tuple[int, ModelArtifact]] = deque(maxlen=capacity)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def record(self, generation: int, artifact: ModelArtifact) -> None:
+        """Remember ``artifact`` as known-good at ``generation``."""
+        self._entries.append((generation, artifact))
+
+    def latest(self) -> Optional[ModelArtifact]:
+        return self._entries[-1][1] if self._entries else None
+
+    def previous(self, version: str) -> Optional[ModelArtifact]:
+        """Newest known-good artifact whose content version differs from
+        ``version`` (None when the history holds no alternative)."""
+        for _, artifact in reversed(self._entries):
+            if artifact.version != version:
+                return artifact
+        return None
+
+    def versions(self) -> list[str]:
+        """Content versions in install order (oldest first)."""
+        return [a.version for _, a in self._entries]

@@ -14,14 +14,25 @@ which must not be shared across threads. The micro-batching server
 (:mod:`repro.serve.server`) therefore builds one engine per worker
 thread over the same (immutable) artifact — engines are cheap, the
 artifact arrays are shared.
+
+Fault injection: an optional :class:`~repro.faults.ServeFaultPlan` adds
+seeded latency spikes in front of each query — the chaos drills use
+this to exercise deadline and load-shedding behavior. A ``None`` or
+empty plan leaves every query bit-identical to a plain engine.
 """
 
 from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.core import kernels
 from repro.serve.artifact import ModelArtifact
+
+if TYPE_CHECKING:  # pragma: no cover - hints only
+    from repro.faults import ServeFaultPlan
 
 
 class QueryEngine:
@@ -31,13 +42,27 @@ class QueryEngine:
         artifact: the loaded snapshot.
         backend: kernel backend name; defaults to the artifact config's
             ``kernel_backend`` (what the model trained with).
+        faults: optional seeded fault plan; only its latency spikes
+            apply at this layer.
     """
 
-    def __init__(self, artifact: ModelArtifact, backend: str | None = None) -> None:
+    def __init__(
+        self,
+        artifact: ModelArtifact,
+        backend: str | None = None,
+        faults: "ServeFaultPlan | None" = None,
+    ) -> None:
         self.artifact = artifact
         name = backend if backend is not None else artifact.config.kernel_backend
         self.kernels = kernels.get_backend(name)
         self.workspace = kernels.KernelWorkspace()
+        self._faults = None if faults is None or faults.empty else faults
+
+    def _fault_delay(self) -> None:
+        if self._faults is not None:
+            delay = self._faults.engine_delay()
+            if delay > 0.0:
+                time.sleep(delay)
 
     # -- membership -----------------------------------------------------------
 
@@ -47,6 +72,7 @@ class QueryEngine:
         Served from the artifact's precomputed assignments when ``k`` fits
         within them; falls back to a full-row sort for larger ``k``.
         """
+        self._fault_delay()
         art = self.artifact
         row = art.row_of(node)
         stored = art.top_communities.shape[1]
@@ -70,6 +96,7 @@ class QueryEngine:
         One gather + one kernel call regardless of B; this is the serving
         hot path the micro-batch server coalesces requests into.
         """
+        self._fault_delay()
         pairs = np.asarray(pairs, dtype=np.int64)
         if pairs.ndim != 2 or pairs.shape[1] != 2:
             raise ValueError("pairs must have shape (B, 2)")
@@ -91,6 +118,7 @@ class QueryEngine:
         self, community: int, top_n: int = 10
     ) -> list[tuple[int, float]]:
         """The ``top_n`` strongest members of a community, weight-sorted."""
+        self._fault_delay()
         art = self.artifact
         if not 0 <= community < art.n_communities:
             raise ValueError(
@@ -115,6 +143,7 @@ class QueryEngine:
         (bit-identical to per-pair scoring), excluding the node itself and
         any ``exclude`` ids (e.g. already-known neighbors).
         """
+        self._fault_delay()
         art = self.artifact
         if top_n < 1:
             raise ValueError("top_n must be >= 1")

@@ -14,6 +14,16 @@ bucket's width, ~26% here, which is plenty to tell 50 microseconds from 5
 milliseconds).
 
 All methods are thread-safe; the hot-path cost is one lock + two adds.
+
+Resilience counters (deadline misses, shed requests, degraded answers,
+worker respawns, rollbacks, publish failures, quarantines, stale cache
+evictions) live next to the throughput counters so ``BENCH_serve.json``
+can pin the full error taxonomy. The admission-control loop reads
+:meth:`ServerMetrics.observed_p99_ms` — an *exact* p99 over a small
+sliding window of recent requests with a staleness horizon, so a burst
+of slow requests raises it immediately and an idle (or fully shedding)
+server decays back to "no data" instead of shedding forever on a stale
+signal.
 """
 
 from __future__ import annotations
@@ -21,7 +31,11 @@ from __future__ import annotations
 import math
 import threading
 import time
+from collections import deque
 from typing import Any, Callable, Optional
+
+#: observations older than this never count toward the windowed p99.
+_WINDOW_HORIZON_SECONDS = 5.0
 
 #: histogram bucket upper bounds (seconds): 1 us .. ~85 s, geometric x1.26.
 _BUCKET_BASE = 1e-6
@@ -117,26 +131,43 @@ class ServerMetrics:
     Args:
         queue_depth: optional callable returning the live queue depth;
             sampled at snapshot time (a gauge, not a counter).
+        p99_window: sliding-window size for :meth:`observed_p99_ms`.
     """
 
-    def __init__(self, queue_depth: Optional[Callable[[], int]] = None) -> None:
+    def __init__(
+        self,
+        queue_depth: Optional[Callable[[], int]] = None,
+        p99_window: int = 256,
+    ) -> None:
+        if p99_window < 1:
+            raise ValueError("p99_window must be >= 1")
         self._lock = threading.Lock()
         self._endpoints: dict[str, EndpointMetrics] = {}
         self._queue_depth = queue_depth
         self._started = time.perf_counter()
+        self._window: deque[tuple[float, float]] = deque(maxlen=p99_window)
         self.cache_hits = 0
         self.cache_misses = 0
         self.cache_evictions = 0
+        self.stale_cache_evictions = 0
         self.rejected = 0
         self.hot_swaps = 0
         self.batches = 0
         self.batched_requests = 0
+        self.deadline_exceeded = 0
+        self.shed = 0
+        self.degraded_answers = 0
+        self.worker_respawns = 0
+        self.rollbacks = 0
+        self.publish_failures = 0
+        self.quarantines = 0
 
     def record_request(
         self, endpoint: str, latency_seconds: float, queries: int = 1
     ) -> None:
         with self._lock:
             self._endpoint(endpoint).record(latency_seconds, queries)
+            self._window.append((time.perf_counter(), latency_seconds))
 
     def record_error(self, endpoint: str) -> None:
         with self._lock:
@@ -166,6 +197,54 @@ class ServerMetrics:
         with self._lock:
             self.hot_swaps += 1
 
+    def record_stale_eviction(self, n: int = 1) -> None:
+        with self._lock:
+            self.stale_cache_evictions += int(n)
+
+    def record_deadline_exceeded(self) -> None:
+        with self._lock:
+            self.deadline_exceeded += 1
+
+    def record_shed(self) -> None:
+        with self._lock:
+            self.shed += 1
+
+    def record_degraded_answer(self) -> None:
+        with self._lock:
+            self.degraded_answers += 1
+
+    def record_worker_respawn(self) -> None:
+        with self._lock:
+            self.worker_respawns += 1
+
+    def record_rollback(self) -> None:
+        with self._lock:
+            self.rollbacks += 1
+
+    def record_publish_failure(self) -> None:
+        with self._lock:
+            self.publish_failures += 1
+
+    def record_quarantine(self) -> None:
+        with self._lock:
+            self.quarantines += 1
+
+    def observed_p99_ms(self) -> float:
+        """Exact p99 (ms) over the recent-request window; 0.0 means "no
+        fresh data" and must never be read as "fast" *or* "slow" — the
+        shed policy treats it as insufficient signal and does not shed
+        on latency, which is what lets a fully-shedding server recover.
+        """
+        horizon = time.perf_counter() - _WINDOW_HORIZON_SECONDS
+        with self._lock:
+            while self._window and self._window[0][0] < horizon:
+                self._window.popleft()
+            if not self._window:
+                return 0.0
+            lat = sorted(v for _, v in self._window)
+        idx = min(len(lat) - 1, int(math.ceil(0.99 * len(lat))) - 1)
+        return lat[max(idx, 0)] * 1e3
+
     def _endpoint(self, name: str) -> EndpointMetrics:
         ep = self._endpoints.get(name)
         if ep is None:
@@ -192,6 +271,7 @@ class ServerMetrics:
                     "hits": self.cache_hits,
                     "misses": self.cache_misses,
                     "evictions": self.cache_evictions,
+                    "stale_evictions": self.stale_cache_evictions,
                     "hit_rate": self.cache_hit_rate,
                 },
                 "batching": {
@@ -203,4 +283,13 @@ class ServerMetrics:
                 },
                 "rejected": self.rejected,
                 "hot_swaps": self.hot_swaps,
+                "resilience": {
+                    "deadline_exceeded": self.deadline_exceeded,
+                    "shed": self.shed,
+                    "degraded_answers": self.degraded_answers,
+                    "worker_respawns": self.worker_respawns,
+                    "rollbacks": self.rollbacks,
+                    "publish_failures": self.publish_failures,
+                    "quarantines": self.quarantines,
+                },
             }

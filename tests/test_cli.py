@@ -192,6 +192,23 @@ class TestChaos:
         assert "stale_batches" in out
 
 
+class TestChaosServe:
+    def test_drill_passes_and_writes_report(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "chaos_serve.json"
+        rc = main(["chaos-serve", "--quick", "--seed", "2026",
+                   "--output", str(out_path)])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "Serving chaos drill" in captured.out
+        assert "drill passed" in captured.out
+        assert "worker crash" in captured.err  # plan printed to stderr
+        report = json.loads(out_path.read_text())
+        assert report["passed"] is True
+        assert all(report["invariants"].values())
+
+
 @pytest.fixture(scope="module")
 def trained_artifact(tmp_path_factory):
     """One small trained graph + exported serving artifact + checkpoint."""
@@ -277,6 +294,19 @@ class TestServeCommand:
         assert (a, b) == ("0", "1") and 0 < float(p) < 1
         assert '"hot_swaps": 0' in captured.out
         assert "unknown command 'bogus'" in captured.err
+
+    def test_health_probe(self, trained_artifact, capsys, monkeypatch):
+        import io
+        import json
+
+        monkeypatch.setattr("sys.stdin", io.StringIO("health\nquit\n"))
+        rc = main(["serve", "--artifact", str(trained_artifact["artifact"]),
+                   "--workers", "1", "--deadline-ms", "1000",
+                   "--slo-p99-ms", "50"])
+        assert rc == 0
+        health = json.loads(capsys.readouterr().out)
+        assert health["healthy"] is True and health["ready"] is True
+        assert health["workers_alive"] == 1
 
 
 class TestAucCommand:

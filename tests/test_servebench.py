@@ -24,14 +24,26 @@ class TestQuickRun:
         assert report["quick"] is True
         w = servebench.QUICK
         assert report["workload"]["n_vertices"] == w.n_vertices
-        assert report["results"]["requests_completed"] + report["results"][
-            "errors"
-        ] + report["results"]["dropped"] == w.total_requests
+        r = report["results"]
+        assert (
+            r["requests_completed"]
+            + r["errors"]
+            + r["deadline_exceeded"]
+            + r["dropped"]
+            == w.total_requests
+        )
 
     def test_no_dropped_or_errored(self, report):
         assert report["results"]["errors"] == 0
         assert report["results"]["dropped"] == 0
         assert report["hot_swap"]["zero_dropped_or_errored"] is True
+
+    def test_error_taxonomy_clean_run(self, report):
+        r = report["results"]
+        assert r["error_types"] == []
+        assert r["shed_rejections"] == 0
+        assert r["deadline_exceeded"] == 0
+        assert r["degraded_answers"] == 0
 
     def test_hot_swap_performed_mid_run(self, report):
         hs = report["hot_swap"]
