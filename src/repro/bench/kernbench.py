@@ -1,11 +1,21 @@
-"""Kernel-backend benchmark: fused vs reference, machine-readable.
+"""Kernel-backend benchmark: every registered backend, machine-readable.
 
-``run_kernel_bench`` times the three hot-path kernels (phi gradient, phi
-update, weighted theta gradient) under both registered backends on the
-acceptance workload (m=256, n=32, K=128 for phi; E=8192 for theta), plus
+``run_kernel_bench`` times the four hot-path kernels (phi gradient, phi
+update, weighted theta gradient, link probability) under every registered
+backend on the acceptance workloads (m=256, n=32, K=128 for phi; E=8192
+for theta; H=8192 pairs for link scoring — each 1,048,576 elements), plus
 an end-to-end sequential sampler run per backend, and returns a JSON-ready
-report: per-kernel elements/sec, sampler iterations/sec, and
-fused-over-reference speedups.
+report: per-kernel elements/sec and per-backend speedups over
+``reference``.
+
+Schema v2 (``repro-kernel-bench/2``): each kernel entry carries one
+column per backend plus a ``speedups`` mapping ``{backend: ratio}`` —
+the v1 single ``speedup`` (fused/reference) scalar generalized for the
+``numba`` JIT backend and whatever registers next. Backends are timed
+only if they are registered in the current environment, and
+``compare_reports`` gates only on backends present in *both* reports, so
+a baseline regenerated on a numba-equipped host still checks cleanly on
+a host without numba (and vice versa).
 
 ``compare_reports`` implements ``repro bench-check``: given the committed
 baseline (``BENCH_kernels.json``) and a fresh run, it flags any speedup
@@ -25,15 +35,20 @@ import numpy as np
 
 from repro.bench.harness import best_of
 
-SCHEMA = "repro-kernel-bench/1"
+SCHEMA = "repro-kernel-bench/2"
 
-#: per-kernel speedup keys checked by ``compare_reports``.
+#: report paths whose per-backend ``speedups`` are checked by
+#: ``repro bench-check``.
 TRACKED_SPEEDUPS = (
     ("kernels", "phi_gradient"),
     ("kernels", "phi_update"),
     ("kernels", "theta_gradient"),
+    ("kernels", "link_probability"),
     ("sampler", "end_to_end"),
 )
+
+#: the denominator backend of every speedup ratio.
+BASELINE_BACKEND = "reference"
 
 
 def _phi_workload(rng: np.random.Generator, m: int, n: int, k: int):
@@ -55,6 +70,13 @@ def _theta_workload(rng: np.random.Generator, e: int, k: int):
     return pi_a, pi_b, y, theta, weights
 
 
+def _link_workload(rng: np.random.Generator, h: int, k: int):
+    pi_a = rng.dirichlet(np.ones(k), size=h)
+    pi_b = rng.dirichlet(np.ones(k), size=h)
+    beta = rng.uniform(0.1, 0.9, k)
+    return pi_a, pi_b, beta
+
+
 def _bench_kernels(
     backend_names: list[str], quick: bool, seed: int
 ) -> dict[str, dict[str, Any]]:
@@ -66,11 +88,13 @@ def _bench_kernels(
     # full-mode baseline (speedups shift systematically with size).
     m, n, k = 256, 32, 128
     e = 8192
+    h = 8192
     repeats, inner = (3, 5) if quick else (5, 10)
 
     pi_a, phi_sum, pi_b, y, beta, mask = _phi_workload(rng, m, n, k)
     delta = 1e-4
     t_pi_a, t_pi_b, t_y, theta, t_weights = _theta_workload(rng, e, k)
+    l_pi_a, l_pi_b, l_beta = _link_workload(rng, h, k)
     noise = rng.standard_normal((m, k))
     phi = pi_a * phi_sum[:, None]
 
@@ -78,9 +102,11 @@ def _bench_kernels(
         "phi_gradient": {"elements": m * n * k},
         "phi_update": {"elements": m * k},
         "theta_gradient": {"elements": e * k},
+        "link_probability": {"elements": h * k},
     }
     for name in backend_names:
         backend = kernels.get_backend(name)
+        backend.warmup()  # JIT compile outside the timed region
         ws = kernels.KernelWorkspace()
         grad = backend.phi_gradient_sum(
             pi_a, phi_sum, pi_b, y, beta, delta, mask=mask, workspace=ws
@@ -105,6 +131,13 @@ def _bench_kernels(
                 lambda: backend.theta_gradient_weighted(
                     t_pi_a, t_pi_b, t_y, theta, delta,
                     weights=t_weights, workspace=ws,
+                ),
+                repeats,
+                inner,
+            ),
+            "link_probability": best_of(
+                lambda: backend.link_probability(
+                    l_pi_a, l_pi_b, l_beta, delta, workspace=ws
                 ),
                 repeats,
                 inner,
@@ -165,16 +198,21 @@ def _bench_sampler(backend_names: list[str], quick: bool, seed: int) -> dict[str
 
 
 def _add_speedups(report: dict[str, Any]) -> None:
-    for kernel in report["kernels"].values():
-        if "reference" in kernel and "fused" in kernel:
-            kernel["speedup"] = (
-                kernel["reference"]["seconds"] / kernel["fused"]["seconds"]
-            )
-    sampler = report["sampler"]["end_to_end"]
-    if "reference" in sampler and "fused" in sampler:
-        sampler["speedup"] = (
-            sampler["reference"]["seconds"] / sampler["fused"]["seconds"]
-        )
+    """Attach ``speedups: {backend: reference_s / backend_s}`` per entry."""
+    entries = list(report["kernels"].values()) + [report["sampler"]["end_to_end"]]
+    for entry in entries:
+        base = entry.get(BASELINE_BACKEND)
+        if base is None:
+            continue
+        speedups = {
+            name: base["seconds"] / timing["seconds"]
+            for name, timing in entry.items()
+            if isinstance(timing, dict)
+            and "seconds" in timing
+            and name != BASELINE_BACKEND
+        }
+        if speedups:
+            entry["speedups"] = speedups
 
 
 def run_kernel_bench(
@@ -190,9 +228,11 @@ def run_kernel_bench(
         "schema": SCHEMA,
         "quick": bool(quick),
         "seed": int(seed),
+        "backends": list(names),
         "workloads": {
             "phi": {"m": 256, "n": 32, "K": 128},
             "theta": {"E": 8192, "K": 128},
+            "link": {"H": 8192, "K": 128},
         },
         "kernels": _bench_kernels(names, quick, seed),
         "sampler": {"end_to_end": _bench_sampler(names, quick, seed)},
@@ -201,35 +241,47 @@ def run_kernel_bench(
     return report
 
 
+def _backend_columns(report: dict[str, Any]) -> list[str]:
+    names = report.get("backends")
+    if names:
+        return list(names)
+    found: list[str] = []
+    for data in report["kernels"].values():
+        for name, value in data.items():
+            if isinstance(value, dict) and "seconds" in value and name not in found:
+                found.append(name)
+    return found
+
+
 def report_rows(report: dict[str, Any]) -> list[dict[str, Any]]:
     """Flatten a report for :func:`repro.bench.harness.format_table`."""
+    columns = _backend_columns(report)
     rows = []
     for kernel, data in report["kernels"].items():
         row: dict[str, Any] = {"kernel": kernel}
-        for name in ("reference", "fused"):
+        for name in columns:
             if name in data:
                 row[f"{name}_Melem/s"] = data[name]["elements_per_s"] / 1e6
-        if "speedup" in data:
-            row["speedup"] = data["speedup"]
+        for name, value in data.get("speedups", {}).items():
+            row[f"{name}_speedup"] = value
         rows.append(row)
     sampler = report["sampler"]["end_to_end"]
     row = {"kernel": "sampler end-to-end"}
-    for name in ("reference", "fused"):
+    for name in columns:
         if name in sampler:
             row[f"{name}_Melem/s"] = ""
             row[f"{name}_iters/s"] = sampler[name]["iterations_per_s"]
-    if "speedup" in sampler:
-        row["speedup"] = sampler["speedup"]
+    for name, value in sampler.get("speedups", {}).items():
+        row[f"{name}_speedup"] = value
     rows.append(row)
     return rows
 
 
-def _speedup_at(report: dict[str, Any], path: tuple[str, str]) -> float | None:
+def _speedups_at(report: dict[str, Any], path: tuple[str, str]) -> dict[str, float]:
     node = report
     for key in path:
         node = node.get(key, {})
-    value = node.get("speedup")
-    return float(value) if value is not None else None
+    return {str(k): float(v) for k, v in node.get("speedups", {}).items()}
 
 
 def compare_reports(
@@ -239,25 +291,30 @@ def compare_reports(
 ) -> list[dict[str, Any]]:
     """Regressions: fresh speedup below ``(1 - threshold) *`` baseline.
 
-    Returns one row per tracked speedup with baseline/fresh/ratio and a
-    ``regressed`` flag; callers decide what to do with them.
+    One row per tracked (kernel, backend) speedup present in *both*
+    reports — a backend missing from either side (not installed in that
+    environment) is skipped rather than failed. Rows carry
+    baseline/fresh/ratio and a ``regressed`` flag; callers decide what to
+    do with them.
     """
     rows = []
     for path in TRACKED_SPEEDUPS:
-        base = _speedup_at(baseline, path)
-        now = _speedup_at(fresh, path)
-        if base is None or now is None:
-            continue
-        ratio = now / base
-        rows.append(
-            {
-                "metric": "/".join(path),
-                "baseline_speedup": base,
-                "fresh_speedup": now,
-                "ratio": ratio,
-                "regressed": ratio < 1.0 - threshold,
-            }
-        )
+        base_speedups = _speedups_at(baseline, path)
+        fresh_speedups = _speedups_at(fresh, path)
+        for backend in sorted(set(base_speedups) & set(fresh_speedups)):
+            base = base_speedups[backend]
+            now = fresh_speedups[backend]
+            ratio = now / base
+            rows.append(
+                {
+                    "metric": "/".join(path) + f":{backend}",
+                    "backend": backend,
+                    "baseline_speedup": base,
+                    "fresh_speedup": now,
+                    "ratio": ratio,
+                    "regressed": ratio < 1.0 - threshold,
+                }
+            )
     return rows
 
 

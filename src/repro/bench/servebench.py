@@ -11,7 +11,10 @@ scoring overlap like they would behind a real RPC front end.
 Mid-run, a perturbed artifact is **hot-swapped** in while the clients
 keep hammering; the report proves the swap completed with zero dropped
 and zero errored queries — the serving layer's equivalent of the chaos
-drill.
+drill. After the link-probability load drains, a second phase drives
+coalesced ``recommend_edges`` traffic (each request scores N-1 candidate
+pairs through one kernel call per server micro-batch) and reports
+candidate-pairs/sec next to the link-probability numbers.
 
 The JSON report (``BENCH_serve.json``) embeds the full
 :class:`~repro.serve.metrics.ServerMetrics` snapshot (per-endpoint QPS,
@@ -48,7 +51,7 @@ import numpy as np
 
 from repro.config import AMMSBConfig
 
-SCHEMA = "repro-serve-bench/2"
+SCHEMA = "repro-serve-bench/3"
 CHAOS_SCHEMA = "repro-chaos-serve/1"
 
 #: acceptance target: sustained batched link-probability queries/sec.
@@ -215,6 +218,65 @@ def _client_loop(
     drain(block_all=True)
 
 
+def _recommend_phase(server, w: ServeWorkload, seed: int) -> dict[str, Any]:
+    """Coalesced recommend_edges throughput over distinct (uncached) nodes.
+
+    Every request scores ``n_vertices - 1`` candidate pairs; the server
+    batches concurrent requests into ONE ``link_probability`` kernel call
+    per micro-batch (``QueryEngine.recommend_edges_batch``), which is
+    what this phase measures. Requests use distinct nodes so the LRU
+    cache cannot answer any of them.
+    """
+    from repro.serve.server import ServerOverloaded
+
+    rng = np.random.default_rng(seed + 7)
+    n_requests = min(w.n_vertices, 4 * w.pool_size)
+    top_n = 10
+    nodes = rng.choice(w.n_vertices, size=n_requests, replace=False)
+    pending: deque = deque()
+    completed = errors = 0
+
+    def consume(fut) -> None:
+        nonlocal completed, errors
+        try:
+            if len(fut.result(timeout=60.0)) == top_n:
+                completed += 1
+            else:
+                errors += 1
+        except Exception:  # noqa: BLE001 - counted, not raised
+            errors += 1
+
+    start = time.perf_counter()
+    for node in nodes:
+        while True:
+            try:
+                pending.append(server.recommend_edges(int(node), top_n))
+                break
+            except ServerOverloaded:
+                if pending:
+                    consume(pending.popleft())
+                else:  # pragma: no cover - queue full with nothing in flight
+                    time.sleep(0.0005)
+        if len(pending) >= 2 * w.pipeline_depth:
+            consume(pending.popleft())
+    while pending:
+        consume(pending.popleft())
+    elapsed = time.perf_counter() - start
+
+    candidates_per_request = w.n_vertices - 1
+    return {
+        "requests": int(n_requests),
+        "top_n": top_n,
+        "completed": completed,
+        "errors": errors,
+        "elapsed_seconds": elapsed,
+        "requests_per_s": completed / elapsed if elapsed > 0 else 0.0,
+        "candidate_pairs_per_s": (
+            completed * candidates_per_request / elapsed if elapsed > 0 else 0.0
+        ),
+    }
+
+
 def run_serve_bench(
     quick: bool = False,
     seed: int = 0,
@@ -300,6 +362,7 @@ def run_serve_bench(
         t.join()
     elapsed = time.perf_counter() - start
     swap_thread.join(timeout=5.0)
+    recommend = _recommend_phase(server, w, seed)
     stats = server.stats()
     server.close()
 
@@ -314,10 +377,17 @@ def run_serve_bench(
     queries_per_s = queries / elapsed if elapsed > 0 else 0.0
     lp = stats["endpoints"].get("link_probability", {})
 
+    from repro.core import kernels as _kernels
+
     return {
         "schema": SCHEMA,
         "quick": bool(quick),
         "seed": int(seed),
+        # The backend the serving engines actually resolved (artifact
+        # configs may name a backend this host lacks; they fall soft).
+        "kernel_backend": _kernels.resolve_backend(
+            artifact.config.kernel_backend, allow_fallback=True
+        ).name,
         "workload": {
             "n_vertices": w.n_vertices,
             "n_communities": w.n_communities,
@@ -345,6 +415,7 @@ def run_serve_bench(
             "p99_ms": lp.get("p99_ms", 0.0),
             "cache_hit_rate": stats["cache"]["hit_rate"],
         },
+        "recommend_edges": recommend,
         "hot_swap": {
             **swap_info,
             "errors_after_swap": errors,  # zero-total implies zero after swap
@@ -375,6 +446,12 @@ def report_rows(report: dict[str, Any]) -> list[dict[str, Any]]:
         {"metric": "shed rejections", "value": r["shed_rejections"]},
         {"metric": "deadline exceeded", "value": r["deadline_exceeded"]},
         {"metric": "degraded answers", "value": r["degraded_answers"]},
+        {
+            "metric": "recommend candidate pairs/s",
+            "value": report.get("recommend_edges", {}).get(
+                "candidate_pairs_per_s", 0.0
+            ),
+        },
         {"metric": "hot-swap clean", "value": str(hs["zero_dropped_or_errored"])},
         {
             "metric": f"meets {TARGET_QUERIES_PER_S:.0f} q/s target",

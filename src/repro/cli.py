@@ -7,8 +7,8 @@ Subcommands:
 - ``repro generate`` — write a synthetic SNAP stand-in (or a planted
   graph) as an edge list;
 - ``repro benchmark`` — regenerate a paper figure/table on stdout;
-- ``repro bench-kernels`` — time the kernel backends (fused vs
-  reference) and write machine-readable ``BENCH_kernels.json``;
+- ``repro bench-kernels`` — time the kernel backends (reference, fused,
+  numba when installed) and write machine-readable ``BENCH_kernels.json``;
 - ``repro bench-check`` — rerun the kernel bench and compare against a
   checked-in baseline JSON, failing on speedup regressions;
 - ``repro calibrate`` — print the Table III calibration report;
@@ -179,7 +179,9 @@ def _cmd_bench_kernels(args: argparse.Namespace) -> int:
     from repro.bench import kernbench
     from repro.bench.harness import format_table
 
-    report = kernbench.run_kernel_bench(quick=args.quick, seed=args.seed)
+    report = kernbench.run_kernel_bench(
+        quick=args.quick, seed=args.seed, backends=args.backends
+    )
     print(format_table(kernbench.report_rows(report), title="Kernel backends"))
     if args.output:
         kernbench.save_report(report, args.output)
@@ -191,8 +193,10 @@ def _cmd_bench_check(args: argparse.Namespace) -> int:
     """Compare a fresh kernel bench against the committed baseline.
 
     Exit codes: 0 = within threshold, 2 = regression, 3 = baseline
-    missing/unreadable. Speedup *ratios* are compared (fused over
-    reference), so the check holds across machines of different speed.
+    missing/unreadable. Speedup *ratios* are compared (each backend over
+    reference, restricted to backends present in both reports), so the
+    check holds across machines of different speed and across
+    environments with different optional backends installed.
     """
     from repro.bench import kernbench
     from repro.bench.harness import format_table
@@ -580,6 +584,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--quick", action="store_true",
                    help="smaller workloads / fewer repeats (for CI)")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--backends", nargs="+", default=None,
+                   help="backends to time (default: every registered one)")
     p.set_defaults(func=_cmd_bench_kernels)
 
     p = sub.add_parser("bench-check",

@@ -25,6 +25,7 @@ from repro.core.kernels import (
     available_backends,
     get_backend,
     register_backend,
+    resolve_backend,
 )
 from repro.core.init import init_state_informed
 from repro.core.minibatch import Minibatch, MinibatchSampler, Stratum
@@ -48,6 +49,7 @@ __all__ = [
     "available_backends",
     "get_backend",
     "register_backend",
+    "resolve_backend",
     "init_state_informed",
     "Minibatch",
     "MinibatchSampler",

@@ -72,6 +72,13 @@ class AMMSBSampler:
         state: Optional[ModelState] = None,
     ) -> None:
         self.graph = graph
+        # Resolve the backend before pinning the config: env-sourced
+        # misses fall back to fused, and the *resolved* name is what the
+        # config (and therefore any checkpoint) records.
+        self.kernels = kernels.resolve_backend(config.kernel_backend)
+        if self.kernels.name != config.kernel_backend:
+            config = config.with_updates(kernel_backend=self.kernels.name)
+        self.kernels.warmup()
         self.config = config
         self.rng = np.random.default_rng(config.seed)
         self.noise_rng = np.random.default_rng(config.seed + 1)
@@ -86,7 +93,6 @@ class AMMSBSampler:
             )
         self.minibatch_sampler = MinibatchSampler(graph, config, heldout_keys=heldout_keys)
         self.state = state if state is not None else init_state(graph.n_vertices, config, self.rng)
-        self.kernels = kernels.get_backend(config.kernel_backend)
         self.workspace = kernels.KernelWorkspace()
         self.iteration = 0
         self.history: list[IterationStats] = []

@@ -104,7 +104,10 @@ def _worker_loop(
         # Same streams as WorkerContext, so backends agree bit-for-bit.
         rng = np.random.default_rng(config.seed + 1009 * (worker_id + 1))
         noise_rng = np.random.default_rng(config.seed + 2003 * (worker_id + 1))
-        backend = kernels.get_backend(config.kernel_backend)
+        backend = kernels.resolve_backend(config.kernel_backend)
+        if backend.name != config.kernel_backend:
+            config = config.with_updates(kernel_backend=backend.name)
+        backend.warmup()
         workspace = kernels.KernelWorkspace()
         hk = (
             np.sort(np.asarray(heldout_keys, dtype=np.int64))

@@ -70,7 +70,10 @@ class WorkerContext:
         # the master's streams for any worker count.
         self.rng = np.random.default_rng(config.seed + 1009 * (worker + 1))
         self.noise_rng = np.random.default_rng(config.seed + 2003 * (worker + 1))
-        self.kernels = kernels.get_backend(config.kernel_backend)
+        self.kernels = kernels.resolve_backend(config.kernel_backend)
+        if self.kernels.name != config.kernel_backend:
+            self.config = config = config.with_updates(kernel_backend=self.kernels.name)
+        self.kernels.warmup()
         self.workspace = kernels.KernelWorkspace()
 
     # -- neighbor sampling ----------------------------------------------------

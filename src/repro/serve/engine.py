@@ -53,8 +53,16 @@ class QueryEngine:
         faults: "ServeFaultPlan | None" = None,
     ) -> None:
         self.artifact = artifact
-        name = backend if backend is not None else artifact.config.kernel_backend
-        self.kernels = kernels.get_backend(name)
+        if backend is not None:
+            # An explicit selection is a caller error if wrong: stay strict.
+            self.kernels = kernels.get_backend(backend)
+        else:
+            # Artifact-sourced names may come from a host with more
+            # backends installed (e.g. trained with numba); serve anyway.
+            self.kernels = kernels.resolve_backend(
+                artifact.config.kernel_backend, allow_fallback=True
+            )
+        self.kernels.warmup()
         self.workspace = kernels.KernelWorkspace()
         self._faults = None if faults is None or faults.empty else faults
 
@@ -134,33 +142,89 @@ class QueryEngine:
 
     # -- recommendation -------------------------------------------------------
 
+    #: Memory guard for the concatenated candidate gather: one kernel
+    #: call per batch up to this many pairs, chunked beyond it.
+    MAX_PAIRS_PER_CALL = 1 << 20
+
     def recommend_edges(
         self, node: int, top_n: int = 10, exclude: np.ndarray | None = None
     ) -> list[tuple[int, float]]:
         """The ``top_n`` nodes most likely linked to ``node``.
 
-        Scores the node against every row with one broadcast kernel call
-        (bit-identical to per-pair scoring), excluding the node itself and
-        any ``exclude`` ids (e.g. already-known neighbors).
+        Gathers the candidate rows (everything but the node itself and
+        the ``exclude`` ids) into one (src, dst) pair array and scores it
+        with a single ``link_probability`` kernel call — bit-identical to
+        per-pair scoring. The micro-batch server coalesces many of these
+        through :meth:`recommend_edges_batch`.
+        """
+        result = self.recommend_edges_batch([(node, top_n, exclude)])[0]
+        if isinstance(result, Exception):
+            raise result
+        return result
+
+    def recommend_edges_batch(
+        self,
+        queries: list[tuple[int, int, np.ndarray | None]],
+    ) -> list[list[tuple[int, float]] | Exception]:
+        """Coalesced edge recommendation: ONE kernel call per batch.
+
+        ``queries`` holds ``(node, top_n, exclude)`` triples. All
+        candidate (src, dst) row pairs across the batch are concatenated
+        and scored with a single ``link_probability`` invocation (chunked
+        only past :attr:`MAX_PAIRS_PER_CALL` pairs), then split back per
+        query. Per-query failures (unknown node, bad ``top_n``) are
+        returned as exception objects in their slot rather than raised,
+        so one bad request cannot poison its batch-mates.
         """
         self._fault_delay()
         art = self.artifact
-        if top_n < 1:
-            raise ValueError("top_n must be >= 1")
-        row = art.row_of(node)
-        pi_row = np.broadcast_to(art.pi[row], art.pi.shape)
-        p = np.array(
-            self.kernels.link_probability(
-                pi_row, art.pi, art.beta, art.config.delta,
-                workspace=self.workspace,
-            ),
-            copy=True,
+        results: list[list[tuple[int, float]] | Exception] = [None] * len(queries)
+        prepared: list[tuple[int, int, int, np.ndarray]] = []
+        for i, (node, top_n, exclude) in enumerate(queries):
+            try:
+                if top_n < 1:
+                    raise ValueError("top_n must be >= 1")
+                row = art.row_of(node)
+                keep = np.ones(art.n_nodes, dtype=bool)
+                keep[row] = False
+                if exclude is not None and len(exclude):
+                    keep[art.rows_of(np.asarray(exclude))] = False
+                prepared.append((i, row, int(top_n), np.flatnonzero(keep)))
+            except Exception as exc:  # noqa: BLE001 - per-slot fault isolation
+                results[i] = exc
+        if not prepared:
+            return results
+
+        src = np.concatenate(
+            [np.full(cand.size, row, dtype=np.int64) for _, row, _, cand in prepared]
         )
-        p[row] = -np.inf
-        if exclude is not None and len(exclude):
-            p[art.rows_of(np.asarray(exclude))] = -np.inf
-        top_n = min(int(top_n), art.n_nodes - 1)
-        idx = np.argpartition(-p, top_n - 1)[:top_n]
-        idx = idx[np.argsort(-p[idx], kind="stable")]
-        idx = idx[np.isfinite(p[idx])]  # drop excluded slots past the candidates
-        return [(int(art.node_ids[i]), float(p[i])) for i in idx]
+        dst = np.concatenate([cand for _, _, _, cand in prepared])
+        scores = self._score_row_pairs(src, dst)
+
+        offset = 0
+        for i, _, top_n, cand in prepared:
+            p = scores[offset : offset + cand.size]
+            offset += cand.size
+            n = min(top_n, cand.size)
+            if n == 0:
+                results[i] = []
+                continue
+            idx = np.argpartition(-p, n - 1)[:n]
+            idx = idx[np.argsort(-p[idx], kind="stable")]
+            results[i] = [(int(art.node_ids[cand[j]]), float(p[j])) for j in idx]
+        return results
+
+    def _score_row_pairs(self, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+        """Score internal row pairs; single kernel call under the cap."""
+        art = self.artifact
+        out = np.empty(src.size, dtype=art.pi.dtype)
+        for lo in range(0, src.size, self.MAX_PAIRS_PER_CALL):
+            hi = min(lo + self.MAX_PAIRS_PER_CALL, src.size)
+            out[lo:hi] = self.kernels.link_probability(
+                art.pi[src[lo:hi]],
+                art.pi[dst[lo:hi]],
+                art.beta,
+                art.config.delta,
+                workspace=self.workspace,
+            )
+        return out

@@ -809,8 +809,25 @@ class ModelServer:
             except Exception as exc:  # noqa: BLE001 - fault isolation
                 for r in links:
                     self._fail(r, exc)
+        # Recommendations coalesce the same way: every candidate pair in
+        # the batch goes through ONE link_probability kernel call; the
+        # engine returns per-slot exceptions so bad requests fail alone.
+        recs = [r for r in batch if r.endpoint == "recommend_edges"]
+        if recs:
+            try:
+                outcomes = engine.recommend_edges_batch(
+                    [(r.payload[0], r.payload[1], None) for r in recs]
+                )
+                for r, outcome in zip(recs, outcomes):
+                    if isinstance(outcome, Exception):
+                        self._fail(r, outcome)
+                    else:
+                        self._finish(r, outcome)
+            except Exception as exc:  # noqa: BLE001 - fault isolation
+                for r in recs:
+                    self._fail(r, exc)
         for r in batch:
-            if r.endpoint == "link_probability":
+            if r.endpoint in ("link_probability", "recommend_edges"):
                 continue
             try:
                 if r.endpoint == "membership":
@@ -818,8 +835,6 @@ class ModelServer:
                     result = engine.membership(node, k)
                 elif r.endpoint == "community_members":
                     result = engine.community_members(*r.payload)
-                elif r.endpoint == "recommend_edges":
-                    result = engine.recommend_edges(*r.payload)
                 else:  # pragma: no cover - submit() filters endpoints
                     raise RuntimeError(f"unknown endpoint {r.endpoint!r}")
                 self._finish(r, result)

@@ -93,27 +93,37 @@ class TestBenchCheck:
     """bench-check plumbing; the real bench runs are exercised via
     ``repro bench-kernels --quick`` in CI, not here (too slow for tier-1)."""
 
-    def _report(self, phi=2.0, theta=2.0, upd=1.2, e2e=1.1):
+    def _report(self, phi=2.0, theta=2.0, upd=1.2, link=1.5, e2e=1.1,
+                numba=None):
         from repro.bench.kernbench import SCHEMA
 
         def kernel(speedup):
-            return {
+            entry = {
                 "reference": {"seconds": speedup, "elements_per_s": 1.0},
                 "fused": {"seconds": 1.0, "elements_per_s": speedup},
-                "speedup": speedup,
+                "speedups": {"fused": speedup},
             }
+            if numba is not None:
+                entry["numba"] = {
+                    "seconds": speedup / numba,
+                    "elements_per_s": numba,
+                }
+                entry["speedups"]["numba"] = numba
+            return entry
 
         return {
             "schema": SCHEMA,
             "quick": False,
             "seed": 0,
+            "backends": ["reference", "fused"] + (["numba"] if numba else []),
             "workloads": {},
             "kernels": {
                 "phi_gradient": kernel(phi),
                 "phi_update": kernel(upd),
                 "theta_gradient": kernel(theta),
+                "link_probability": kernel(link),
             },
-            "sampler": {"end_to_end": {"speedup": e2e}},
+            "sampler": {"end_to_end": {"speedups": {"fused": e2e}}},
         }
 
     def test_missing_baseline_exit_3(self, tmp_path):
@@ -132,7 +142,24 @@ class TestBenchCheck:
         assert not any(r["regressed"] for r in ok)
         bad = compare_reports(baseline, self._report(phi=1.4), threshold=0.25)
         flagged = {r["metric"] for r in bad if r["regressed"]}
-        assert flagged == {"kernels/phi_gradient"}
+        assert flagged == {"kernels/phi_gradient:fused"}
+
+    def test_compare_reports_gates_only_shared_backends(self):
+        """A backend present in one environment but not the other (numba
+        on the baseline host only, say) is skipped, not failed."""
+        from repro.bench.kernbench import compare_reports
+
+        baseline = self._report(numba=4.0)
+        fresh = self._report()  # no numba column in this environment
+        rows = compare_reports(baseline, fresh, threshold=0.25)
+        assert rows and all(r["backend"] == "fused" for r in rows)
+        assert not any(r["regressed"] for r in rows)
+        # Both sides have numba: it is gated, and a collapse is flagged.
+        slow = compare_reports(
+            self._report(numba=4.0), self._report(numba=1.0), threshold=0.25
+        )
+        flagged = {r["metric"] for r in slow if r["regressed"]}
+        assert "kernels/phi_gradient:numba" in flagged
 
     def test_compare_reports_faster_never_flags(self):
         from repro.bench.kernbench import compare_reports
@@ -153,12 +180,12 @@ class TestBenchCheck:
         and records the >=1.5x fused phi-gradient speedup."""
         from pathlib import Path
 
-        from repro.bench.kernbench import TRACKED_SPEEDUPS, load_report, _speedup_at
+        from repro.bench.kernbench import TRACKED_SPEEDUPS, load_report, _speedups_at
 
         baseline = load_report(Path(__file__).parent.parent / "BENCH_kernels.json")
         for path in TRACKED_SPEEDUPS:
-            assert _speedup_at(baseline, path) is not None, path
-        assert _speedup_at(baseline, ("kernels", "phi_gradient")) >= 1.5
+            assert _speedups_at(baseline, path).get("fused") is not None, path
+        assert _speedups_at(baseline, ("kernels", "phi_gradient"))["fused"] >= 1.5
 
 
 class TestDetectCheckpointing:

@@ -151,3 +151,64 @@ class TestRecommendEdges:
         engine = QueryEngine(art)
         got = engine.recommend_edges(105, top_n=3)
         assert all(100 <= nid < 112 and nid != 105 for nid, _ in got)
+
+
+class TestRecommendEdgesBatch:
+    """Server-side coalescing: one kernel call per batch of queries."""
+
+    def test_batch_equals_individual_calls(self):
+        art = _artifact(25, 5, 13)
+        engine = QueryEngine(art)
+        queries = [(3, 4, None), (9, 7, np.array([0, 1])), (3, 4, None)]
+        batched = engine.recommend_edges_batch(queries)
+        for (node, top_n, exclude), got in zip(queries, batched):
+            assert got == engine.recommend_edges(node, top_n, exclude=exclude)
+
+    def test_single_kernel_call_per_batch(self):
+        art = _artifact(20, 4, 1)
+        engine = QueryEngine(art)
+        calls = []
+        original = engine.kernels.link_probability
+
+        def counting(*args, **kwargs):
+            calls.append(len(args[0]))
+            return original(*args, **kwargs)
+
+        engine.kernels = type(engine.kernels)(
+            engine.kernels.name,
+            phi_gradient_sum=engine.kernels.phi_gradient_sum,
+            update_phi=engine.kernels.update_phi,
+            theta_gradient_weighted=engine.kernels.theta_gradient_weighted,
+            update_theta=engine.kernels.update_theta,
+            link_probability=counting,
+        )
+        engine.recommend_edges_batch([(0, 3, None), (5, 3, None), (7, 2, None)])
+        assert len(calls) == 1
+        assert calls[0] == 3 * (art.n_nodes - 1)
+
+    def test_chunking_past_cap_is_equivalent(self):
+        art = _artifact(30, 4, 2)
+        engine = QueryEngine(art)
+        whole = engine.recommend_edges_batch([(1, 5, None), (2, 5, None)])
+        engine.MAX_PAIRS_PER_CALL = 17  # force many tiny kernel calls
+        chunked = engine.recommend_edges_batch([(1, 5, None), (2, 5, None)])
+        assert whole == chunked
+
+    def test_per_slot_fault_isolation(self):
+        art = _artifact(15, 4, 3)
+        engine = QueryEngine(art)
+        out = engine.recommend_edges_batch(
+            [(2, 3, None), (9999, 3, None), (4, 0, None), (5, 3, None)]
+        )
+        assert out[0] == engine.recommend_edges(2, 3)
+        assert isinstance(out[1], Exception)  # unknown node
+        assert isinstance(out[2], ValueError)  # top_n < 1
+        assert out[3] == engine.recommend_edges(5, 3)
+
+    def test_all_nodes_excluded_gives_empty(self):
+        art = _artifact(6, 3, 4)
+        engine = QueryEngine(art)
+        out = engine.recommend_edges_batch(
+            [(0, 5, np.arange(1, 6))]  # every other node excluded
+        )
+        assert out == [[]]
