@@ -1,0 +1,382 @@
+"""Memory/storage micro-bench: graph-load time and peak RSS per format.
+
+``run_mem_bench`` builds one synthetic graph, persists it as a SNAP
+edge list, a compressed NPZ, and a CSR store container, then measures —
+**in a fresh subprocess per sample**, so the peak-RSS reading (VmHWM,
+reset by exec) is clean — how long each path takes to stand the graph
+up and how much resident memory the load peaks at:
+
+- ``edge_list`` — stream-parse + full canonicalization (the portable
+  worst case every raw download starts from);
+- ``npz`` — decompress + full ``Graph.__init__`` rebuild;
+- ``csr_resident`` — container read into heap arrays, no re-sorting;
+- ``csr_mmap`` — container memory-mapped read-only; load is
+  O(manifest) and only touched pages become resident.
+
+A ``baseline`` subprocess that imports the stack but loads nothing pins
+the interpreter+NumPy floor, so every mode also reports
+``rss_delta_bytes`` — the memory the *graph* actually cost, which is the
+number the ``csr_mmap`` path is designed to collapse.
+
+Schema v1 (``repro-mem-bench/1``). ``compare_reports`` implements
+``repro bench-check --suite mem``: like the kernel gate it compares
+*ratios* (CSR-vs-edge-list load speedup, mmap RSS fraction), not
+absolute seconds, so the committed ``BENCH_mem.json`` checks cleanly on
+machines of different speed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Optional
+
+import numpy as np
+
+SCHEMA = "repro-mem-bench/1"
+
+#: metrics (path into report["speedups"] / report["rss"]) gated by
+#: ``repro bench-check --suite mem``. Speedups regress when they DROP,
+#: fractions regress when they RISE.
+TRACKED_SPEEDUPS = ("csr_mmap_load_vs_edge_list", "csr_resident_load_vs_edge_list")
+TRACKED_FRACTIONS = ("csr_mmap_rss_fraction",)
+
+MODES = ("edge_list", "npz", "csr_resident", "csr_mmap")
+
+
+@dataclass(frozen=True)
+class MemWorkload:
+    """Synthetic graph size for the bench."""
+
+    n_vertices: int
+    avg_degree: int
+    reps: int  # fresh subprocesses per mode; min is reported
+
+    @classmethod
+    def full(cls) -> "MemWorkload":
+        return cls(n_vertices=200_000, avg_degree=20, reps=3)
+
+    @classmethod
+    def quick(cls) -> "MemWorkload":
+        return cls(n_vertices=20_000, avg_degree=10, reps=2)
+
+
+def _make_graph(workload: MemWorkload, seed: int):
+    from repro.graph.graph import Graph
+
+    rng = np.random.default_rng(seed)
+    n = workload.n_vertices
+    m = n * workload.avg_degree // 2
+    a = rng.integers(0, n, size=int(m * 1.1))
+    b = rng.integers(0, n, size=int(m * 1.1))
+    ok = a != b
+    lo, hi = np.minimum(a[ok], b[ok]), np.maximum(a[ok], b[ok])
+    _, idx = np.unique(lo * np.int64(n) + hi, return_index=True)
+    idx = idx[:m]
+    return Graph(n, np.column_stack([lo, hi])[idx])
+
+
+# Peak-RSS probe shared by every measurement child. VmHWM is the
+# current mm's high-water mark and is reset by exec, unlike
+# ru_maxrss, which Linux seeds at fork with the *parent's* peak and
+# never resets — a fat parent (pytest, a bench that just built a graph)
+# would otherwise put an inherited floor under every child's reading.
+PEAK_RSS_SNIPPET = r"""
+def _peak_rss_bytes():
+    try:
+        with open("/proc/self/status") as fh:
+            for line in fh:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1]) * 1024
+    except OSError:
+        pass
+    import resource  # non-Linux fallback: process-lifetime high water
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+"""
+
+# Runs inside the child: import, load by mode, touch a query mix, emit
+# JSON with phase times and peak RSS. Kept to stdlib + repro imports.
+_CHILD_SCRIPT = PEAK_RSS_SNIPPET + r"""
+import json, sys, time
+t0 = time.perf_counter()
+import numpy as np
+from repro.graph import io as gio
+mode, path, n_vertices = sys.argv[1], sys.argv[2], int(sys.argv[3])
+t1 = time.perf_counter()
+g = None
+if mode == "edge_list":
+    g = gio.load_edge_list(path, n_vertices=n_vertices)
+elif mode == "npz":
+    g = gio.load_npz(path)
+elif mode == "csr_resident":
+    g = gio.load_csr(path, provider="resident")
+elif mode == "csr_mmap":
+    g = gio.load_csr(path, provider="mmap")
+elif mode != "baseline":
+    raise SystemExit(f"unknown mode {mode!r}")
+t2 = time.perf_counter()
+if g is not None:
+    rng = np.random.default_rng(0)
+    vs = rng.integers(0, g.n_vertices, size=256)
+    deg = int(g.degrees[vs].sum())
+    pairs = np.column_stack([vs, (vs + 1) % g.n_vertices])
+    hits = int(g.has_edges(pairs).sum())
+    nb = sum(int(g.neighbors(int(v)).size) for v in vs[:16])
+t3 = time.perf_counter()
+print(json.dumps({
+    "import_s": t1 - t0,
+    "load_s": t2 - t1,
+    "query_s": t3 - t2,
+    "maxrss_bytes": _peak_rss_bytes(),
+}))
+"""
+
+
+def trim_heap() -> None:
+    """Release freed heap pages back to the OS (Linux/glibc best-effort).
+
+    Measurement children are *forked*, and Linux seeds a forked child's
+    ``ru_maxrss`` with the parent's resident size at fork time — so a
+    parent that just built and serialized a big graph hands every child
+    a huge RSS floor that swamps the child's own usage. Calling this
+    after dropping the big objects (and before spawning children) pulls
+    that floor back down near the interpreter baseline. The residual
+    floor is still measured by the ``baseline`` child and subtracted.
+    """
+    import ctypes
+    import gc
+
+    gc.collect()
+    try:
+        ctypes.CDLL("libc.so.6").malloc_trim(0)
+    except (OSError, AttributeError):  # pragma: no cover - non-glibc
+        pass
+
+
+def measure_subprocess(
+    script: str, argv: list[str], timeout: float = 600.0
+) -> dict[str, float]:
+    """Run ``script`` in a fresh interpreter and parse its JSON stdout.
+
+    The child gets ``src/`` on ``PYTHONPATH`` so ``repro`` imports work
+    regardless of how the parent was launched. A fresh process per
+    sample is what makes the peak-RSS reading trustworthy: the high
+    water resets at exec, so it can never be polluted by whatever the
+    parent (pytest, the CLI, a prior mode) already touched — scripts
+    should report ``PEAK_RSS_SNIPPET``'s ``_peak_rss_bytes()`` rather
+    than ``ru_maxrss``, which Linux seeds from the parent's peak.
+    Shared by this bench and the servebench storage phase.
+    """
+    env = dict(os.environ)
+    src_root = str(Path(__file__).resolve().parents[2])
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (src_root, env.get("PYTHONPATH", "")) if p
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", script, *argv],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=timeout,
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"bench child ({argv[:1]}) failed: {proc.stderr.strip()[-500:]}"
+        )
+    return json.loads(proc.stdout)
+
+
+def _measure_child(mode: str, path: str, n_vertices: int) -> dict[str, float]:
+    return measure_subprocess(_CHILD_SCRIPT, [mode, path, str(n_vertices)])
+
+
+def run_mem_bench(
+    quick: bool = False, seed: int = 0, workload: Optional[MemWorkload] = None
+) -> dict[str, Any]:
+    """Run the storage-path bench; returns the JSON-ready report."""
+    workload = workload or (MemWorkload.quick() if quick else MemWorkload.full())
+    from repro.graph import io as gio
+
+    report: dict[str, Any] = {
+        "schema": SCHEMA,
+        "quick": bool(quick),
+        "seed": int(seed),
+        "workload": {
+            "n_vertices": workload.n_vertices,
+            "avg_degree": workload.avg_degree,
+            "reps": workload.reps,
+        },
+    }
+    t_build = time.perf_counter()
+    graph = _make_graph(workload, seed)
+    report["workload"]["n_edges"] = graph.n_edges
+    report["workload"]["build_s"] = time.perf_counter() - t_build
+
+    with tempfile.TemporaryDirectory(prefix="repro-membench-") as tmp:
+        tmp = Path(tmp)
+        paths = {
+            "edge_list": str(tmp / "graph.txt"),
+            "npz": str(tmp / "graph.npz"),
+            "csr_resident": str(tmp / "graph.csr"),
+            "csr_mmap": str(tmp / "graph.csr"),
+        }
+        gio.save_edge_list(graph, paths["edge_list"])
+        gio.save_npz(graph, paths["npz"])
+        gio.save_csr(graph, paths["csr_resident"])
+
+        def disk_bytes(p: str) -> int:
+            q = Path(p)
+            if q.is_dir():
+                return sum(f.stat().st_size for f in q.iterdir())
+            return q.stat().st_size
+
+        report["workload"]["file_bytes"] = {
+            "edge_list": disk_bytes(paths["edge_list"]),
+            "npz": disk_bytes(paths["npz"]),
+            "csr": disk_bytes(paths["csr_resident"]),
+        }
+
+        n_vertices = int(graph.n_vertices)
+        del graph  # children fork from this process: shrink their RSS floor
+        trim_heap()
+
+        baseline = [
+            _measure_child("baseline", paths["npz"], n_vertices)
+            for _ in range(workload.reps)
+        ]
+        base_rss = min(s["maxrss_bytes"] for s in baseline)
+        results: dict[str, Any] = {
+            "baseline": {
+                "load_s": 0.0,
+                "maxrss_bytes": base_rss,
+                "rss_delta_bytes": 0,
+            }
+        }
+        for mode in MODES:
+            samples = [
+                _measure_child(mode, paths[mode], n_vertices)
+                for _ in range(workload.reps)
+            ]
+            load_s = min(s["load_s"] for s in samples)
+            rss = min(s["maxrss_bytes"] for s in samples)
+            results[mode] = {
+                "load_s": load_s,
+                "query_s": min(s["query_s"] for s in samples),
+                "maxrss_bytes": rss,
+                "rss_delta_bytes": max(0, rss - base_rss),
+            }
+    report["results"] = results
+
+    el, mm, res = results["edge_list"], results["csr_mmap"], results["csr_resident"]
+    tiny = 1e-9
+    report["speedups"] = {
+        "csr_mmap_load_vs_edge_list": el["load_s"] / max(mm["load_s"], tiny),
+        "csr_resident_load_vs_edge_list": el["load_s"] / max(res["load_s"], tiny),
+        "csr_mmap_load_vs_npz": results["npz"]["load_s"] / max(mm["load_s"], tiny),
+    }
+    el_delta = max(el["rss_delta_bytes"], 1)
+    report["rss"] = {
+        "csr_mmap_rss_fraction": mm["rss_delta_bytes"] / el_delta,
+        "csr_resident_rss_fraction": res["rss_delta_bytes"] / el_delta,
+    }
+    report["acceptance"] = {
+        # The format exists to make loads cheap: mapped CSR must beat
+        # text parsing by a wide margin and must not cost *more*
+        # resident memory than the parse path peaked at.
+        "csr_mmap_faster_than_edge_list": report["speedups"][
+            "csr_mmap_load_vs_edge_list"
+        ]
+        > 5.0,
+        "csr_mmap_rss_not_worse": report["rss"]["csr_mmap_rss_fraction"] <= 1.0,
+    }
+    return report
+
+
+def report_rows(report: dict[str, Any]) -> list[str]:
+    """Human-readable table lines for the CLI."""
+    rows = []
+    w = report["workload"]
+    rows.append(
+        f"graph: N={w['n_vertices']:,} |E|={w.get('n_edges', 0):,} "
+        f"(reps={w['reps']}, quick={report['quick']})"
+    )
+    rows.append(f"{'mode':<14} {'load':>10} {'query':>10} {'rss delta':>12}")
+    for mode in MODES:
+        r = report["results"][mode]
+        rows.append(
+            f"{mode:<14} {r['load_s'] * 1e3:>8.1f}ms {r['query_s'] * 1e3:>8.2f}ms "
+            f"{r['rss_delta_bytes'] / 1e6:>10.1f}MB"
+        )
+    for name, val in sorted(report["speedups"].items()):
+        rows.append(f"{name}: {val:.1f}x")
+    for name, val in sorted(report["rss"].items()):
+        rows.append(f"{name}: {val:.3f}")
+    return rows
+
+
+def compare_reports(
+    baseline: dict[str, Any],
+    fresh: dict[str, Any],
+    threshold: float = 0.5,
+) -> list[dict[str, Any]]:
+    """Regression rows for ``bench-check --suite mem``.
+
+    Speedup ratios regress when the fresh value drops below
+    ``(1 - threshold) *`` baseline; RSS fractions regress when the fresh
+    value rises above ``baseline * (1 + threshold) + 0.05`` (the
+    additive slack absorbs jitter when the baseline fraction is ~0).
+    The default threshold is looser than the kernel gate's because load
+    times fold in disk and page-cache behavior, which varies more across
+    machines than pure compute does.
+    """
+    rows: list[dict[str, Any]] = []
+    for name in TRACKED_SPEEDUPS:
+        base = baseline.get("speedups", {}).get(name)
+        now = fresh.get("speedups", {}).get(name)
+        if base is None or now is None:
+            continue
+        ratio = now / base if base else float("inf")
+        rows.append(
+            {
+                "metric": f"speedups/{name}",
+                "baseline": base,
+                "fresh": now,
+                "ratio": ratio,
+                "regressed": ratio < 1.0 - threshold,
+            }
+        )
+    for name in TRACKED_FRACTIONS:
+        base = baseline.get("rss", {}).get(name)
+        now = fresh.get("rss", {}).get(name)
+        if base is None or now is None:
+            continue
+        limit = base * (1.0 + threshold) + 0.05
+        rows.append(
+            {
+                "metric": f"rss/{name}",
+                "baseline": base,
+                "fresh": now,
+                "ratio": now / base if base else float("inf"),
+                "regressed": now > limit,
+            }
+        )
+    return rows
+
+
+def save_report(report: dict[str, Any], path: str | Path) -> None:
+    Path(path).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+
+def load_report(path: str | Path) -> dict[str, Any]:
+    report = json.loads(Path(path).read_text())
+    if report.get("schema") != SCHEMA:
+        raise ValueError(
+            f"{path}: expected schema {SCHEMA!r}, got {report.get('schema')!r}"
+        )
+    return report

@@ -9,8 +9,14 @@ Subcommands:
 - ``repro benchmark`` — regenerate a paper figure/table on stdout;
 - ``repro bench-kernels`` — time the kernel backends (reference, fused,
   numba when installed) and write machine-readable ``BENCH_kernels.json``;
-- ``repro bench-check`` — rerun the kernel bench and compare against a
-  checked-in baseline JSON, failing on speedup regressions;
+- ``repro bench-check`` — rerun a bench suite (``kernels``, ``mem``, or
+  ``serve``) and compare against its checked-in baseline JSON, failing
+  on ratio regressions;
+- ``repro bench-mem`` — measure graph-load time and peak RSS per storage
+  format (edge list, NPZ, resident CSR, mapped CSR) and write
+  ``BENCH_mem.json``;
+- ``repro convert-graph`` — convert an edge list or ``.npz`` graph into
+  a memory-mappable CSR store container;
 - ``repro calibrate`` — print the Table III calibration report;
 - ``repro chaos`` — run the fault-injection drill (worker crash, DKV
   server stall, RDMA failures) against the multiprocess backend and
@@ -189,36 +195,93 @@ def _cmd_bench_kernels(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_bench_check(args: argparse.Namespace) -> int:
-    """Compare a fresh kernel bench against the committed baseline.
+#: per-suite (baseline file, default regression threshold). The storage
+#: suites tolerate more drift than the kernel gate because their ratios
+#: fold in disk and page-cache behavior.
+_BENCH_SUITES = {
+    "kernels": ("BENCH_kernels.json", 0.25),
+    "mem": ("BENCH_mem.json", 0.5),
+    "serve": ("BENCH_serve.json", 0.5),
+}
 
-    Exit codes: 0 = within threshold, 2 = regression, 3 = baseline
-    missing/unreadable. Speedup *ratios* are compared (each backend over
-    reference, restricted to backends present in both reports), so the
-    check holds across machines of different speed and across
-    environments with different optional backends installed.
+
+def _cmd_bench_check(args: argparse.Namespace) -> int:
+    """Compare a fresh bench run against the committed baseline.
+
+    ``--suite kernels`` (default) reruns the kernel bench; ``--suite
+    mem`` the storage/memory bench; ``--suite serve`` the serving load
+    generator. Exit codes: 0 = within threshold, 2 = regression, 3 =
+    baseline missing/unreadable. Every suite compares *ratios* (backend
+    speedups, CSR-vs-edge-list load speedups, v2-vs-v1 cold-start
+    speedup), so the checks hold across machines of different speed and
+    across environments with different optional backends installed.
     """
-    from repro.bench import kernbench
     from repro.bench.harness import format_table
 
+    if args.suite == "kernels":
+        from repro.bench import kernbench as bench
+
+        def run_fresh():
+            return bench.run_kernel_bench(quick=args.quick, seed=args.seed)
+    elif args.suite == "mem":
+        from repro.bench import membench as bench
+
+        def run_fresh():
+            return bench.run_mem_bench(quick=args.quick, seed=args.seed)
+    else:
+        from repro.bench import servebench as bench
+
+        def run_fresh():
+            return bench.run_serve_bench(quick=args.quick, seed=args.seed)
+
+    default_baseline, default_threshold = _BENCH_SUITES[args.suite]
+    baseline_path = args.baseline or default_baseline
+    threshold = args.threshold if args.threshold is not None else default_threshold
     try:
-        baseline = kernbench.load_report(args.baseline)
+        baseline = bench.load_report(baseline_path)
     except (OSError, ValueError) as exc:
         print(f"cannot load baseline: {exc}", file=sys.stderr)
         return 3
-    fresh = kernbench.run_kernel_bench(quick=args.quick, seed=args.seed)
+    fresh = run_fresh()
     if args.output:
-        kernbench.save_report(fresh, args.output)
+        bench.save_report(fresh, args.output)
         print(f"wrote {args.output}", file=sys.stderr)
-    rows = kernbench.compare_reports(baseline, fresh, threshold=args.threshold)
-    print(format_table(rows, title=f"bench-check vs {args.baseline} "
-                                   f"(threshold {args.threshold:.0%})"))
+    rows = bench.compare_reports(baseline, fresh, threshold=threshold)
+    print(format_table(rows, title=f"bench-check --suite {args.suite} vs "
+                                   f"{baseline_path} (threshold {threshold:.0%})"))
     regressed = [r for r in rows if r["regressed"]]
     if regressed:
         names = ", ".join(r["metric"] for r in regressed)
         print(f"REGRESSION: {names}", file=sys.stderr)
         return 2
-    print("ok: no kernel speedup regression", file=sys.stderr)
+    print(f"ok: no {args.suite} regression", file=sys.stderr)
+    return 0
+
+
+def _cmd_bench_mem(args: argparse.Namespace) -> int:
+    """Run the storage/memory bench; exit 2 if an acceptance bar fails."""
+    from repro.bench import membench
+
+    report = membench.run_mem_bench(quick=args.quick, seed=args.seed)
+    for line in membench.report_rows(report):
+        print(line)
+    if args.output:
+        membench.save_report(report, args.output)
+        print(f"wrote {args.output}", file=sys.stderr)
+    failed = [k for k, ok in report["acceptance"].items() if not ok]
+    if failed:
+        print(f"FAIL: acceptance bar(s) not met: {failed}", file=sys.stderr)
+        return 2
+    print("ok: storage acceptance bars met", file=sys.stderr)
+    return 0
+
+
+def _cmd_convert_graph(args: argparse.Namespace) -> int:
+    """Convert an edge list / NPZ graph into a mapped CSR container."""
+    from repro.graph.io import convert_graph
+
+    graph = convert_graph(args.input, args.output, n_vertices=args.vertices)
+    print(f"wrote {graph} as CSR container to {args.output}", file=sys.stderr)
     return 0
 
 
@@ -589,17 +652,40 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_bench_kernels)
 
     p = sub.add_parser("bench-check",
-                       help="compare kernel bench against a baseline JSON")
-    p.add_argument("--baseline", default="BENCH_kernels.json",
-                   help="checked-in baseline report (default BENCH_kernels.json)")
-    p.add_argument("--threshold", type=float, default=0.25,
-                   help="max tolerated relative speedup drop (default 0.25)")
+                       help="compare a bench suite against a baseline JSON")
+    p.add_argument("--suite", choices=sorted(_BENCH_SUITES), default="kernels",
+                   help="which bench to rerun and compare (default kernels)")
+    p.add_argument("--baseline", default=None,
+                   help="checked-in baseline report (default: the suite's "
+                        "BENCH_*.json)")
+    p.add_argument("--threshold", type=float, default=None,
+                   help="max tolerated relative ratio drop (default: 0.25 "
+                        "for kernels, 0.5 for mem/serve)")
     p.add_argument("--quick", action="store_true",
                    help="smaller workloads / fewer repeats (for CI)")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--output", "-o", default=None,
                    help="also write the fresh report JSON here (CI artifact)")
     p.set_defaults(func=_cmd_bench_check)
+
+    p = sub.add_parser("bench-mem", help="run the storage/memory bench")
+    p.add_argument("--output", "-o", default=None,
+                   help="write the machine-readable report JSON here")
+    p.add_argument("--quick", action="store_true",
+                   help="smaller graph / fewer repeats (for CI)")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_bench_mem)
+
+    p = sub.add_parser("convert-graph",
+                       help="convert an edge list / NPZ into a CSR container")
+    p.add_argument("--input", "-i", required=True,
+                   help="edge-list file (SNAP format) or .npz graph")
+    p.add_argument("--output", "-o", required=True,
+                   help="container directory to write (e.g. graph.csr)")
+    p.add_argument("--vertices", type=int, default=None,
+                   help="vertex-id space if the edge list is sparse in ids "
+                        "(default: inferred, ids are densely remapped)")
+    p.set_defaults(func=_cmd_convert_graph)
 
     p = sub.add_parser("calibrate", help="print the Table III calibration report")
     p.set_defaults(func=_cmd_calibrate)

@@ -106,13 +106,14 @@ def _config_from_json(path: PathLike, blob: str) -> AMMSBConfig:
         raise CheckpointError(path, f"invalid config value ({exc})") from exc
 
 
-def _atomic_savez(path: PathLike, **arrays) -> Path:
+def _atomic_savez(path: PathLike, compress: bool = True, **arrays) -> Path:
     """Write an ``.npz`` atomically: temp file + fsync + ``os.replace``.
 
     ``np.savez`` appends ``.npz`` when given a bare name, so the archive
     is serialized through an explicit file object instead; the temp file
     lives in the destination directory to keep the final rename within
-    one filesystem.
+    one filesystem. ``compress=False`` writes a stored (uncompressed)
+    archive — see :func:`save_checkpoint` for the tradeoff.
     """
     target = Path(path)
     if target.suffix != ".npz":
@@ -121,9 +122,10 @@ def _atomic_savez(path: PathLike, **arrays) -> Path:
     fd, tmp_name = tempfile.mkstemp(
         prefix=f".{target.name}.", suffix=".tmp", dir=target.parent
     )
+    savez = np.savez_compressed if compress else np.savez
     try:
         with os.fdopen(fd, "wb") as fh:
-            np.savez_compressed(fh, **arrays)
+            savez(fh, **arrays)
             fh.flush()
             os.fsync(fh.fileno())
         os.replace(tmp_name, target)
@@ -179,8 +181,20 @@ def _read_array(path: PathLike, data, key: str) -> np.ndarray:
         raise CheckpointError(path, f"array {key!r} unreadable ({exc})") from exc
 
 
-def save_checkpoint(path: PathLike, sampler: AMMSBSampler) -> Path:
-    """Atomically write the sampler's full state to ``path`` (.npz)."""
+def save_checkpoint(path: PathLike, sampler: AMMSBSampler, compress: bool = True) -> Path:
+    """Atomically write the sampler's full state to ``path`` (.npz).
+
+    Args:
+        compress: ``True`` (default) writes ``np.savez_compressed``;
+            ``False`` writes a stored archive (plain ``np.savez``).
+            Tradeoff: zlib shrinks the float state ~1.1–1.5x (random
+            gamma draws barely compress) but dominates save time at
+            large N — for million-row ``pi`` the deflate pass costs
+            tens of seconds of sampler stall per checkpoint, while the
+            stored archive is written at disk bandwidth. Prefer
+            ``compress=False`` whenever checkpoint cadence matters more
+            than disk. Loads auto-detect either variant.
+    """
     meta = {
         "version": FORMAT_VERSION,
         "iteration": sampler.iteration,
@@ -197,7 +211,7 @@ def save_checkpoint(path: PathLike, sampler: AMMSBSampler) -> Path:
     if est is not None:
         arrays["perp_prob_sum"] = est._prob_sum
         meta["perp_count"] = est.n_samples
-    return _atomic_savez(path, _meta=json.dumps(meta), **arrays)
+    return _atomic_savez(path, compress=compress, _meta=json.dumps(meta), **arrays)
 
 
 def load_checkpoint(path: PathLike, graph, heldout=None) -> AMMSBSampler:
@@ -251,12 +265,17 @@ def load_checkpoint(path: PathLike, graph, heldout=None) -> AMMSBSampler:
 
 
 def save_state_checkpoint(
-    path: PathLike, state: ModelState, iteration: int, config: AMMSBConfig
+    path: PathLike,
+    state: ModelState,
+    iteration: int,
+    config: AMMSBConfig,
+    compress: bool = True,
 ) -> Path:
     """Atomically write a bare model state (no RNG streams).
 
     The portable subset every backend shares — used by the multiprocess
-    runtime's auto-checkpointing.
+    runtime's auto-checkpointing. ``compress=False`` skips zlib (see
+    :func:`save_checkpoint` for the large-N tradeoff).
     """
     meta = {
         "version": FORMAT_VERSION,
@@ -266,6 +285,7 @@ def save_state_checkpoint(
     }
     return _atomic_savez(
         path,
+        compress=compress,
         _meta=json.dumps(meta),
         pi=state.pi,
         phi_sum=state.phi_sum,

@@ -98,21 +98,53 @@ class ModelState:
 
 
 def init_state(
-    n_vertices: int, config: AMMSBConfig, rng: np.random.Generator | None = None
+    n_vertices: int,
+    config: AMMSBConfig,
+    rng: np.random.Generator | None = None,
+    provider=None,
+    chunk_rows: int = 65536,
 ) -> ModelState:
     """Random initialization following [Li, Ahn, Welling 2015].
 
     ``phi_ak ~ Gamma(alpha, 1)`` (expanded-mean parameterization of
     Dirichlet(alpha)) and ``theta_ki ~ Gamma(eta_i, 1)``; a small floor
     keeps every entry strictly positive.
+
+    Args:
+        provider: an array-provider name/instance from
+            :mod:`repro.store` routing the big ``pi``/``phi_sum``
+            allocations (e.g. ``"mmap"`` puts the N x K state in
+            swappable file-backed scratch so million-node state never
+            has to fit in RAM). ``None`` (default) keeps the legacy
+            heap path, whose single full-size gamma draw is
+            bit-identical to previous releases. Any explicit provider —
+            including ``"resident"`` — instead fills the state
+            ``chunk_rows`` rows at a time, so the float64 draw
+            temporary stays bounded; the chunked draws consume the RNG
+            stream in a different order, so the initialization is a
+            different (equally valid) sample for the same seed.
     """
     rng = rng or np.random.default_rng(config.seed)
     k = config.n_communities
     alpha = config.effective_alpha
     dtype = np.dtype(config.dtype)
-    phi = rng.gamma(alpha, 1.0, size=(n_vertices, k)) + 1e-9
-    phi_sum = phi.sum(axis=1)
-    pi = (phi / phi_sum[:, None]).astype(dtype)
+    if provider is None:
+        phi = rng.gamma(alpha, 1.0, size=(n_vertices, k)) + 1e-9
+        phi_sum = phi.sum(axis=1)
+        pi = (phi / phi_sum[:, None]).astype(dtype)
+        phi_sum = phi_sum.astype(dtype)
+    else:
+        from repro.store import get_provider
+
+        prov = get_provider(provider)
+        pi = prov.allocate((n_vertices, k), dtype)
+        phi_sum = prov.allocate((n_vertices,), dtype)
+        for start in range(0, n_vertices, max(1, chunk_rows)):
+            stop = min(n_vertices, start + max(1, chunk_rows))
+            phi = rng.gamma(alpha, 1.0, size=(stop - start, k)) + 1e-9
+            sums = phi.sum(axis=1)
+            pi[start:stop] = (phi / sums[:, None]).astype(dtype, copy=False)
+            phi_sum[start:stop] = sums.astype(dtype, copy=False)
     # theta is tiny (K x 2) and replicated; keep it at full precision.
     theta = rng.gamma(100.0, 0.01, size=(k, 2)) + 1e-9
-    return ModelState(pi=pi, phi_sum=phi_sum.astype(dtype), theta=theta)
+    return ModelState(pi=pi, phi_sum=phi_sum, theta=theta)

@@ -47,10 +47,14 @@ class MasterContext:
         config: AMMSBConfig,
         n_workers: int,
         heldout_keys: Optional[np.ndarray] = None,
+        ship_adjacency: bool = True,
     ) -> None:
         self.graph = graph
         self.config = config
         self.n_workers = n_workers
+        # False when workers hold a shared mapped graph (dist.mp
+        # graph_path mode): shards then carry no adjacency slices.
+        self.ship_adjacency = ship_adjacency
         self.rng = np.random.default_rng(config.seed)
         self.theta_noise_rng = np.random.default_rng(config.seed + 7)
         self.minibatch_sampler = MinibatchSampler(graph, config, heldout_keys=heldout_keys)
@@ -60,7 +64,9 @@ class MasterContext:
         """Draw (or accept an injected) mini-batch and build shards."""
         if minibatch is None:
             minibatch = self.minibatch_sampler.sample(self.rng)
-        shards = partition_minibatch(self.graph, minibatch, self.n_workers)
+        shards = partition_minibatch(
+            self.graph, minibatch, self.n_workers, with_adjacency=self.ship_adjacency
+        )
         return MasterDraw(minibatch=minibatch, shards=shards)
 
     def next_draw(self, minibatch: Optional[Minibatch] = None) -> MasterDraw:

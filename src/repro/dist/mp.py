@@ -91,15 +91,27 @@ def _worker_loop(
     faults: Optional[FaultPlan],
     cmd_recv,
     res_send,
+    graph_path: Optional[str] = None,
 ) -> None:
     """Worker process: command loop over the shared pi table.
 
     Every result message is ``(tag, worker_id, seq, key, payload)`` where
     ``seq`` echoes the command's sequence number — the master uses it to
     drop stragglers from rounds aborted by a failure.
+
+    ``graph_path`` (a CSR container from ``repro convert-graph``) turns
+    on shared-graph mode: the worker memory-maps the full graph
+    read-only — every worker process shares ONE physical copy through
+    the page cache — and answers ``y_ab`` from it directly, so shards
+    arrive without adjacency slices.
     """
     shm = shared_memory.SharedMemory(name=shm_name)
     try:
+        mapped_graph: Optional[Graph] = None
+        if graph_path is not None:
+            from repro.graph.io import load_csr
+
+            mapped_graph = load_csr(graph_path, provider="mmap")
         table = np.ndarray(table_shape, dtype=np.dtype(dtype_str), buffer=shm.buf)
         # Same streams as WorkerContext, so backends agree bit-for-bit.
         rng = np.random.default_rng(config.seed + 1009 * (worker_id + 1))
@@ -133,7 +145,16 @@ def _worker_loop(
             lo = np.minimum(vs[:, None], neighbors)
             hi = np.maximum(vs[:, None], neighbors)
             mask &= ~in_heldout(lo * np.int64(n_vertices) + hi)
-            labels = sh.adjacency.links_against(neighbors) & mask
+            if sh.adjacency is not None:
+                labels = sh.adjacency.links_against(neighbors) & mask
+            else:
+                # Shared-graph mode: the adjacency never left the master;
+                # test linkedness against the mapped CSR. Identical
+                # semantics to links_against (self-pairs test False).
+                pairs = np.column_stack(
+                    [np.repeat(vs, neighbors.shape[1]), neighbors.reshape(-1)]
+                )
+                labels = mapped_graph.has_edges(pairs).reshape(neighbors.shape) & mask
             empty = ~mask.any(axis=1)
             if np.any(empty):
                 rows = np.flatnonzero(empty)
@@ -283,6 +304,13 @@ class MultiprocessAMMSBSampler:
             watching the path can hot-swap mid-run).
         publish_every: iterations between artifact publishes (0 = only
             explicit :meth:`publish_artifact` calls).
+        graph_path: opt-in shared-graph mode. Path to a CSR container
+            (built once with ``repro convert-graph``) matching ``graph``;
+            each worker memory-maps it read-only, so all workers share
+            one physical copy of the graph through the page cache and
+            the master stops shipping per-iteration adjacency slices
+            entirely (smaller scatter payloads, flat worker RSS).
+            Bit-identical results to the default ship-adjacency mode.
     """
 
     def __init__(
@@ -300,6 +328,7 @@ class MultiprocessAMMSBSampler:
         checkpoint_every: int = 0,
         publish_path: Optional[Union[str, Path]] = None,
         publish_every: int = 0,
+        graph_path: Optional[Union[str, Path]] = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError("need at least one worker")
@@ -318,10 +347,24 @@ class MultiprocessAMMSBSampler:
         self.publish_every = int(publish_every)
         self.recoveries: list[RecoveryEvent] = []
 
+        self.graph_path = Path(graph_path) if graph_path else None
+        if self.graph_path is not None:
+            from repro.store import read_manifest
+
+            meta = read_manifest(self.graph_path).get("meta", {})
+            if int(meta.get("n_vertices", -1)) != graph.n_vertices:
+                raise ValueError(
+                    f"graph_path container has n_vertices={meta.get('n_vertices')}, "
+                    f"training graph has {graph.n_vertices}"
+                )
+
         heldout_keys = None
         if heldout is not None:
             heldout_keys = np.sort(edge_keys(heldout.heldout_pairs, graph.n_vertices))
-        self.master = MasterContext(graph, config, n_workers, heldout_keys)
+        self.master = MasterContext(
+            graph, config, n_workers, heldout_keys,
+            ship_adjacency=self.graph_path is None,
+        )
 
         k = config.n_communities
         init = state if state is not None else init_state(
@@ -368,6 +411,7 @@ class MultiprocessAMMSBSampler:
                     self.faults,
                     recv,
                     self._res_queue,
+                    str(self.graph_path) if self.graph_path is not None else None,
                 ),
                 daemon=True,
             )

@@ -70,28 +70,39 @@ def adjacency_slice(graph: Graph, vertices: np.ndarray) -> AdjacencySlice:
 
 @dataclass(frozen=True)
 class WorkerShard:
-    """Everything one worker receives for one iteration."""
+    """Everything one worker receives for one iteration.
+
+    ``adjacency`` is ``None`` when the runtime gives every worker a
+    shared read-only memory-mapped graph instead (``graph_path`` mode in
+    :mod:`repro.dist.mp`): the worker then answers ``y_ab`` straight
+    from the mapped CSR, and the per-iteration adjacency payload
+    disappears from the scatter entirely.
+    """
 
     worker: int  # 0-based worker index (rank = worker + 1)
     vertices: np.ndarray  # this worker's mini-batch vertices
-    adjacency: AdjacencySlice  # adjacency of exactly those vertices
+    adjacency: AdjacencySlice | None  # adjacency of exactly those vertices
     strata: list[Stratum] = field(default_factory=list)  # for update_beta
 
     def payload_bytes(self) -> int:
         strata_bytes = sum(
             s.pairs.nbytes + s.labels.nbytes + 8 for s in self.strata
         )
-        return int(self.vertices.nbytes + self.adjacency.payload_bytes() + strata_bytes)
+        adj_bytes = self.adjacency.payload_bytes() if self.adjacency is not None else 0
+        return int(self.vertices.nbytes + adj_bytes + strata_bytes)
 
 
 def partition_minibatch(
-    graph: Graph, minibatch: Minibatch, n_workers: int
+    graph: Graph, minibatch: Minibatch, n_workers: int, with_adjacency: bool = True
 ) -> list[WorkerShard]:
     """Split a mini-batch into per-worker shards.
 
     Vertices are dealt round-robin (they arrive sorted and degree-skewed,
     so round-robin balances both count and expected adjacency size);
     strata are dealt whole, round-robin by index.
+
+    ``with_adjacency=False`` skips the CSR slice extraction and ships
+    ``adjacency=None`` — for workers that hold a shared mapped graph.
     """
     if n_workers < 1:
         raise ValueError("need at least one worker")
@@ -102,7 +113,7 @@ def partition_minibatch(
             WorkerShard(
                 worker=w,
                 vertices=vs,
-                adjacency=adjacency_slice(graph, vs),
+                adjacency=adjacency_slice(graph, vs) if with_adjacency else None,
                 strata=list(minibatch.strata[w::n_workers]),
             )
         )

@@ -89,6 +89,73 @@ class Graph:
         np.cumsum(self._csr_indptr, out=self._csr_indptr)
         self._sort_adjacency()
 
+    @classmethod
+    def from_csr(
+        cls,
+        n_vertices: int,
+        edges: np.ndarray,
+        keys: np.ndarray,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        validate: bool = True,
+    ) -> "Graph":
+        """Construct a graph over already-canonical CSR arrays, zero-copy.
+
+        ``__init__`` re-canonicalizes from scratch: an O(m log m) sort of
+        the key array, an ``np.add.at`` histogram, and a per-row lexsort
+        of the adjacency — all of which allocate fresh arrays. When the
+        arrays come out of a trusted producer (the CSR container written
+        by :func:`repro.graph.io.save_csr`, whose bytes are sealed by
+        per-array sha256 digests), that work is pure overhead and the
+        copies defeat memory mapping. This fast path adopts the arrays
+        *as given* — no sort, no copy; ``self._csr_indptr is indptr``
+        holds afterwards — so a multi-GB graph can be served from
+        read-only mapped files with only the touched pages resident.
+
+        Args:
+            n_vertices: N.
+            edges: (m, 2) canonical edges (``lo < hi``), sorted by key.
+            keys: (m,) sorted canonical keys (``lo * N + hi``).
+            indptr: (N+1,) CSR row pointers over both edge directions.
+            indices: (2m,) CSR neighbor ids, sorted within each row.
+            validate: run O(N + m) *non-allocating-heavy* invariants
+                (shape/monotonicity/range). Disable only for bytes you
+                have digest-verified.
+        """
+        edges = np.asarray(edges)
+        keys = np.asarray(keys)
+        indptr = np.asarray(indptr)
+        indices = np.asarray(indices)
+        if validate:
+            n = int(n_vertices)
+            if n <= 0:
+                raise ValueError("graph needs at least one vertex")
+            if edges.ndim != 2 or edges.shape[1] != 2:
+                raise ValueError(f"edges must be (m, 2), got {edges.shape}")
+            m = edges.shape[0]
+            if keys.shape != (m,):
+                raise ValueError(f"keys must be ({m},), got {keys.shape}")
+            if indptr.shape != (n + 1,):
+                raise ValueError(f"indptr must be ({n + 1},), got {indptr.shape}")
+            if indices.shape != (2 * m,):
+                raise ValueError(f"indices must be ({2 * m},), got {indices.shape}")
+            if m and (int(indptr[0]) != 0 or int(indptr[-1]) != 2 * m):
+                raise ValueError("indptr endpoints inconsistent with edge count")
+            if np.any(np.diff(indptr) < 0):
+                raise ValueError("indptr must be non-decreasing")
+            if keys.size and np.any(np.diff(keys) <= 0):
+                raise ValueError("keys must be strictly increasing (canonical, deduped)")
+            if indices.size and (int(indices.min()) < 0 or int(indices.max()) >= n):
+                raise ValueError("CSR index out of range")
+        g = cls.__new__(cls)
+        g.n_vertices = int(n_vertices)
+        g.edges = edges
+        g.n_edges = int(edges.shape[0])
+        g._keys = keys
+        g._csr_indptr = indptr
+        g._csr_indices = indices
+        return g
+
     def _sort_adjacency(self) -> None:
         indptr, indices = self._csr_indptr, self._csr_indices
         # Vectorized per-row sort: sort by (row, value) pairs.

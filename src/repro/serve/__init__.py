@@ -10,6 +10,7 @@ See DESIGN.md section 9.
 """
 
 from repro.serve.artifact import (
+    ArtifactCorrupt,
     ArtifactError,
     ModelArtifact,
     build_artifact,
@@ -17,13 +18,16 @@ from repro.serve.artifact import (
     export_from_sampler,
     load_artifact,
     save_artifact,
+    save_artifact_v2,
 )
 from repro.serve.engine import QueryEngine
 from repro.serve.metrics import LatencyHistogram, ServerMetrics
 from repro.serve.server import ModelServer, ServerOverloaded
 
 __all__ = [
+    "ArtifactCorrupt",
     "ArtifactError",
+    "save_artifact_v2",
     "ModelArtifact",
     "build_artifact",
     "export_artifact",

@@ -33,6 +33,23 @@ that silently differs from what was exported) raises
 :class:`ArtifactCorrupt`; callers that serve traffic quarantine the file
 (:func:`quarantine_artifact`) and fall back to the last-known-good entry
 tracked in an :class:`ArtifactRegistry`.
+
+Two on-disk formats coexist (DESIGN.md section 10):
+
+- **v1** — a compressed ``.npz`` archive. Simple and compact, but a
+  load must decompress every array into fresh resident memory, so
+  cold start and RSS are both O(artifact size).
+- **v2** — a :mod:`repro.store` container directory: one raw ``.npy``
+  per array plus a sha256-sealed ``manifest.json``. Loads memory-map
+  the arrays read-only (default provider ``mmap``), so a query server
+  answers its first request after O(manifest) work with only the
+  touched pages resident; per-array digests are verified lazily on
+  first touch, or all at once with ``verify="full"`` (what
+  ``ModelServer.publish_path`` uses, so corruption is caught *before*
+  a swap, never mid-query).
+
+:func:`save_artifact` picks the format from the path (``.npz`` -> v1,
+anything else -> v2 directory); :func:`load_artifact` auto-detects.
 """
 
 from __future__ import annotations
@@ -58,6 +75,13 @@ from repro.core.checkpoint import (
     CheckpointError,
 )
 from repro.core.state import ModelState
+from repro.store import (
+    Container,
+    StoreCorrupt,
+    StoreError,
+    is_container,
+    write_container,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints only
     from repro.core.sampler import AMMSBSampler
@@ -66,6 +90,12 @@ PathLike = Union[str, Path]
 
 SCHEMA = "repro-serve-artifact/1"
 FORMAT_VERSION = 1
+
+#: v2 directory format: store-container kind tag.
+SCHEMA_V2 = "repro-serve-artifact/2"
+FORMAT_VERSION_V2 = 2
+
+_ARRAY_KEYS = ("pi", "theta", "beta", "node_ids", "top_communities", "top_weights")
 
 #: default number of precomputed top communities per node.
 DEFAULT_TOP_K = 8
@@ -142,6 +172,13 @@ class ModelArtifact:
     iteration: int = 0
     version: str = ""
     _row_index: dict = field(default_factory=dict, repr=False, compare=False)
+    # Backing store container for v2 (mmap) artifacts; None for v1 /
+    # in-memory builds. Enables verify_deep() and nbytes() without
+    # re-opening the directory.
+    _container: Optional[Container] = field(default=None, repr=False, compare=False)
+    # Memoized _identity_ids() answer — the check is an O(N) scan, far
+    # too hot to repeat per rows_of() call on a mapped million-row map.
+    _ids_identity: Optional[bool] = field(default=None, repr=False, compare=False)
 
     @property
     def n_nodes(self) -> int:
@@ -176,14 +213,44 @@ class ModelArtifact:
         ).reshape(node_ids.shape)
 
     def _identity_ids(self) -> bool:
-        ids = self.node_ids
-        return bool(
-            ids.size == self.n_nodes
-            and ids.dtype.kind == "i"
-            and ids[0] == 0
-            and ids[-1] == self.n_nodes - 1
-            and np.array_equal(ids, np.arange(self.n_nodes))
+        if self._ids_identity is None:
+            ids = self.node_ids
+            answer = bool(
+                ids.size == self.n_nodes
+                and ids.dtype.kind == "i"
+                and ids[0] == 0
+                and ids[-1] == self.n_nodes - 1
+                and np.array_equal(ids, np.arange(self.n_nodes))
+            )
+            object.__setattr__(self, "_ids_identity", answer)
+        return self._ids_identity
+
+    def nbytes(self) -> int:
+        """Total model payload bytes (manifest-sourced for v2 artifacts)."""
+        if self._container is not None:
+            return self._container.nbytes()
+        return sum(
+            int(np.asarray(getattr(self, key)).nbytes) for key in _ARRAY_KEYS
         )
+
+    def verify_deep(self) -> None:
+        """Full integrity pass: every per-array digest + model invariants.
+
+        For v2 (container-backed) artifacts this forces the lazy sha256
+        digests that the default load defers; for v1 / in-memory
+        artifacts it is just :meth:`validate`. Raises
+        :class:`ArtifactCorrupt` on any damage.
+        """
+        source = self._container.path if self._container is not None else "<memory>"
+        if self._container is not None:
+            try:
+                self._container.verify_all()
+            except StoreCorrupt as exc:
+                raise ArtifactCorrupt(source, exc.reason) from exc
+        try:
+            self.validate()
+        except ValueError as exc:
+            raise ArtifactCorrupt(source, f"invalid snapshot ({exc})") from exc
 
     def validate(self) -> None:
         """Raise ``ValueError`` when an invariant is broken."""
@@ -278,8 +345,21 @@ def export_from_sampler(
     )
 
 
-def save_artifact(path: PathLike, artifact: ModelArtifact) -> Path:
-    """Atomically write an in-memory artifact (tmp + fsync + replace)."""
+def save_artifact(path: PathLike, artifact: ModelArtifact, format: str = "auto") -> Path:
+    """Atomically write an in-memory artifact; returns the final path.
+
+    ``format="auto"`` (default) picks from the path: a ``.npz`` suffix
+    writes the compressed v1 archive (appended to suffix-less paths for
+    backward compatibility when forcing ``format="npz"``), anything else
+    writes the v2 mmap-ready container directory. Pass ``"npz"`` or
+    ``"dir"`` to force a format regardless of suffix.
+    """
+    if format not in ("auto", "npz", "dir"):
+        raise ValueError(f"format must be 'auto', 'npz' or 'dir', got {format!r}")
+    if format == "auto":
+        format = "npz" if Path(path).suffix == ".npz" else "dir"
+    if format == "dir":
+        return save_artifact_v2(path, artifact)
     meta = {
         "schema": SCHEMA,
         "version": FORMAT_VERSION,
@@ -299,22 +379,63 @@ def save_artifact(path: PathLike, artifact: ModelArtifact) -> Path:
     )
 
 
-def load_artifact(path: PathLike, verify: bool = True) -> ModelArtifact:
+def save_artifact_v2(path: PathLike, artifact: ModelArtifact) -> Path:
+    """Write the v2 directory format: raw ``.npy`` arrays + sealed manifest.
+
+    Uncompressed on purpose — the arrays are page-aligned ``np.save``
+    payloads a reader can memory-map directly. Atomicity (tmp dir +
+    fsync + rename) and per-array sha256 digests come from
+    :func:`repro.store.write_container`.
+    """
+    return write_container(
+        path,
+        {key: getattr(artifact, key) for key in _ARRAY_KEYS},
+        kind=SCHEMA_V2,
+        meta={
+            "format_version": FORMAT_VERSION_V2,
+            "artifact_version": artifact.version,
+            "iteration": int(artifact.iteration),
+            "config": _config_to_json(artifact.config),
+        },
+    )
+
+
+def load_artifact(
+    path: PathLike,
+    verify: Union[bool, str] = True,
+    provider: Union[str, None] = "mmap",
+) -> ModelArtifact:
     """Load a serving artifact; no graph object required.
 
-    With ``verify=True`` (the default) the SHA-256 content version is
-    recomputed from the loaded arrays + stored config string and checked
-    against the recorded ``artifact_version`` — this catches payload
-    tampering that passes both the archive CRC and model invariants.
+    v2 container directories and legacy v1 ``.npz`` archives are
+    auto-detected; ``provider`` applies to v2 only (``"mmap"`` default:
+    read-only maps, MB-scale RSS; ``"resident"``: full read).
+
+    Verification levels:
+
+    - ``verify=True`` (default): v1 recomputes the SHA-256 content
+      version from the loaded arrays (it already paid the full read);
+      v2 checks the sealed manifest + tiny arrays eagerly and defers
+      per-array digests to first touch, keeping the load O(manifest).
+    - ``verify="full"``: v2 additionally digests every array and runs
+      the complete invariant + content-version check up front — what
+      ``ModelServer.publish_path`` uses so damage surfaces as
+      :class:`ArtifactCorrupt` *before* a swap, never mid-query.
+      Equivalent to ``True`` for v1.
+    - ``verify=False``: structural checks only.
 
     Raises:
         ArtifactCorrupt: damaged payload — CRC/decompression failure
-            while reading arrays, broken model invariants, or a
-            content-version mismatch.
+            while reading arrays, digest or content-version mismatch,
+            an edited manifest, or broken model invariants.
         ArtifactError: everything else — missing file, wrong schema or
             format version, missing arrays, unreadable metadata.
     """
+    if verify not in (True, False, "full"):
+        raise ValueError(f"verify must be True, False or 'full', got {verify!r}")
     p = Path(path)
+    if is_container(p):
+        return _load_artifact_v2(p, verify=verify, provider=provider)
     try:
         archive = _open_archive(p)
     except CheckpointError as exc:
@@ -375,6 +496,105 @@ def load_artifact(path: PathLike, verify: bool = True) -> ModelArtifact:
         recomputed = _content_version(
             str(meta["config"]), artifact.pi, artifact.theta
         )
+        if recorded != recomputed:
+            raise ArtifactCorrupt(
+                p,
+                "content version mismatch "
+                f"(recorded {recorded!r}, recomputed {recomputed!r})",
+            )
+    return artifact
+
+
+def _load_artifact_v2(
+    p: Path, verify: Union[bool, str], provider: Union[str, None]
+) -> ModelArtifact:
+    """Open a v2 container artifact (see :func:`load_artifact` for levels).
+
+    ``ModelArtifact`` adopts all six arrays at construction, so digest
+    laziness is realized here by policy, not by touch-tracking: the
+    container is opened with digests off, the tiny globals (``theta``,
+    ``beta``) are digested and invariant-checked eagerly (corrupt
+    globals would poison *every* answer), and the O(N) arrays keep
+    their digests deferred to :meth:`ModelArtifact.verify_deep` /
+    ``verify="full"`` — a default load stays O(manifest) regardless of
+    artifact size.
+    """
+    try:
+        container = Container(p, provider=provider or "resident", verify="none")
+    except StoreCorrupt as exc:
+        raise ArtifactCorrupt(p, exc.reason) from exc
+    except StoreError as exc:
+        raise ArtifactError(p, exc.reason) from exc
+    if container.kind != SCHEMA_V2:
+        raise ArtifactError(
+            p, f"expected container kind {SCHEMA_V2!r}, got {container.kind!r}"
+        )
+    meta = container.meta
+    if meta.get("format_version") != FORMAT_VERSION_V2:
+        raise ArtifactError(
+            p, f"unsupported artifact version {meta.get('format_version')}"
+        )
+    try:
+        config = _config_from_json(p, meta["config"])
+    except CheckpointError as exc:
+        raise ArtifactError(p, exc.reason) from exc
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ArtifactError(p, f"invalid config metadata ({exc})") from exc
+
+    # Manifest-side structural checks: shape consistency costs zero array
+    # reads and catches cross-array damage the per-file digests cannot.
+    try:
+        entries = {key: container.entry(key) for key in _ARRAY_KEYS}
+    except StoreError as exc:
+        raise ArtifactError(p, exc.reason) from exc
+    try:
+        n, k = (int(x) for x in entries["pi"]["shape"])
+        shapes = {key: [int(x) for x in entries[key]["shape"]] for key in _ARRAY_KEYS}
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ArtifactCorrupt(p, f"malformed manifest shapes ({exc})") from exc
+    ok = (
+        shapes["theta"] == [k, 2]
+        and shapes["beta"] == [k]
+        and shapes["node_ids"] == [n]
+        and shapes["top_communities"] == shapes["top_weights"]
+        and shapes["top_communities"][0] == n
+        and shapes["top_communities"][1] <= k
+    )
+    if not ok:
+        raise ArtifactCorrupt(p, f"inconsistent array shapes in manifest: {shapes}")
+
+    try:
+        if verify:
+            for key in ("theta", "beta"):
+                container.verify(key)
+        arrays = {key: container.array(key) for key in _ARRAY_KEYS}
+        if verify == "full":
+            container.verify_all()
+    except StoreCorrupt as exc:
+        raise ArtifactCorrupt(p, exc.reason) from exc
+    except StoreError as exc:
+        raise ArtifactError(p, exc.reason) from exc
+
+    artifact = ModelArtifact(
+        config=config,
+        iteration=int(meta.get("iteration", 0)),
+        version=str(meta.get("artifact_version", "")),
+        _container=container,
+        **arrays,
+    )
+    if verify:
+        theta, beta = artifact.theta, artifact.beta
+        if np.any(theta <= 0):
+            raise ArtifactCorrupt(p, "invalid snapshot (theta must be positive)")
+        if np.any(beta <= 0) or np.any(beta >= 1):
+            raise ArtifactCorrupt(p, "invalid snapshot (beta must be in (0, 1))")
+    if verify == "full":
+        try:
+            artifact.validate()
+        except ValueError as exc:
+            raise ArtifactCorrupt(p, f"invalid snapshot ({exc})") from exc
+        recorded = str(meta.get("artifact_version", ""))
+        recomputed = _content_version(str(meta["config"]), artifact.pi, artifact.theta)
         if recorded != recomputed:
             raise ArtifactCorrupt(
                 p,

@@ -44,6 +44,14 @@ class QueryEngine:
             ``kernel_backend`` (what the model trained with).
         faults: optional seeded fault plan; only its latency spikes
             apply at this layer.
+        provider: array provider (name or instance from
+            :mod:`repro.store`) routing the engine's *large scratch*
+            allocations — currently the concatenated recommend-edges
+            score buffer, which can reach O(N) floats per batch.
+            ``None`` (default) follows ``$REPRO_ARRAY_PROVIDER`` and
+            falls back to resident heap scratch; ``"mmap"`` puts the
+            buffer in unlinked file-backed memory the kernel can swap.
+            Results are bit-identical across providers.
     """
 
     def __init__(
@@ -51,8 +59,12 @@ class QueryEngine:
         artifact: ModelArtifact,
         backend: str | None = None,
         faults: "ServeFaultPlan | None" = None,
+        provider=None,
     ) -> None:
+        from repro.store import get_provider
+
         self.artifact = artifact
+        self.provider = get_provider(provider)
         if backend is not None:
             # An explicit selection is a caller error if wrong: stay strict.
             self.kernels = kernels.get_backend(backend)
@@ -217,7 +229,7 @@ class QueryEngine:
     def _score_row_pairs(self, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
         """Score internal row pairs; single kernel call under the cap."""
         art = self.artifact
-        out = np.empty(src.size, dtype=art.pi.dtype)
+        out = self.provider.allocate(src.size, art.pi.dtype)
         for lo in range(0, src.size, self.MAX_PAIRS_PER_CALL):
             hi = min(lo + self.MAX_PAIRS_PER_CALL, src.size)
             out[lo:hi] = self.kernels.link_probability(

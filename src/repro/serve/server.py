@@ -392,7 +392,11 @@ class ModelServer:
         :class:`SwapFailed`.
         """
         try:
-            artifact = load_artifact(path, verify=True)
+            # "full" forces every per-array digest even for lazy v2
+            # container artifacts: a server must find corruption at
+            # publish time, never mid-query. (For v1 .npz this is the
+            # same full verification as always.)
+            artifact = load_artifact(path, verify="full")
         except ArtifactCorrupt as exc:
             exc.quarantined = quarantine_artifact(path)
             self.metrics.record_quarantine()

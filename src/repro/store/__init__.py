@@ -1,0 +1,41 @@
+"""Out-of-core storage tier: array providers + atomic digest-sealed containers.
+
+``repro.store`` is the memory architecture under the million-node path
+(DESIGN.md section 10): an :class:`~repro.store.provider.ArrayProvider`
+abstraction (``resident`` heap arrays vs read-only ``mmap`` views) and an
+atomic on-disk :class:`~repro.store.container.Container` format (one raw
+``.npy`` per array + a sha256-sealed JSON manifest) that the serving
+tier's v2 artifacts and the CSR graph container are both built on.
+"""
+
+from repro.store.container import (
+    Container,
+    StoreCorrupt,
+    StoreError,
+    content_version,
+    is_container,
+    read_manifest,
+    write_container,
+)
+from repro.store.provider import (
+    ArrayProvider,
+    MmapProvider,
+    ResidentProvider,
+    available_providers,
+    get_provider,
+)
+
+__all__ = [
+    "Container",
+    "StoreCorrupt",
+    "StoreError",
+    "content_version",
+    "is_container",
+    "read_manifest",
+    "write_container",
+    "ArrayProvider",
+    "MmapProvider",
+    "ResidentProvider",
+    "available_providers",
+    "get_provider",
+]

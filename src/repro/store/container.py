@@ -1,0 +1,342 @@
+"""Atomic on-disk array containers with per-array integrity digests.
+
+A *container* is a directory holding one raw little-endian ``.npy`` file
+per named array plus a ``manifest.json`` describing them:
+
+=================  =====================================================
+entry              contents
+=================  =====================================================
+``manifest.json``  schema, ``kind`` (caller format tag), caller ``meta``,
+                   per-array ``{file, sha256, shape, dtype, nbytes}``,
+                   and a ``content_version`` sealing all of the above
+``<name>.npy``     the array payload, NumPy format v1, native layout
+=================  =====================================================
+
+Because every array is an uncompressed ``.npy``, a reader can map it
+(``np.load(mmap_mode="r")``) and answer queries with only the touched
+pages resident — the property the serving tier's v2 artifact format and
+the CSR graph container are built on.
+
+Writes are atomic: arrays and manifest land in a hidden temp directory
+next to the target, every file and the directory are fsynced, and the
+temp dir is renamed into place (an existing container is rotated aside
+first and deleted after the rename — a crash between those two steps
+leaves the rotated copy behind rather than losing data).
+
+Integrity is layered so opening stays O(manifest):
+
+1. opening a :class:`Container` parses the manifest and recomputes
+   ``content_version`` over its fields — corrupt or tampered manifests
+   (including any edited per-array digest) fail immediately with
+   :class:`StoreCorrupt`, with zero array bytes read;
+2. each array's ``.npy`` header is checked against the manifest's
+   shape/dtype when the array is first opened;
+3. full per-array sha256 digests are verified *lazily*: on first touch
+   (``verify="touch"``, the default) or only via an explicit
+   :meth:`Container.verify_all` pass (``verify="none"``), so a
+   multi-GB container never forces a full read just to start serving.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+from pathlib import Path
+from typing import Iterator, Mapping, Optional, Union
+
+import numpy as np
+
+from repro.store.provider import ArrayProvider, get_provider
+
+PathLike = Union[str, Path]
+
+SCHEMA = "repro-store/1"
+MANIFEST_NAME = "manifest.json"
+VERIFY_MODES = ("touch", "eager", "none")
+
+
+class StoreError(ValueError):
+    """A container could not be read or written."""
+
+    def __init__(self, path: PathLike, reason: str) -> None:
+        self.path = Path(path)
+        self.reason = reason
+        super().__init__(f"{self.path}: {reason}")
+
+
+class StoreCorrupt(StoreError):
+    """Container bytes do not match their recorded digests/headers."""
+
+
+def _fsync_dir(path: Path) -> None:
+    fd = os.open(str(path), os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _sha256_file(path: Path, chunk: int = 1 << 22) -> str:
+    h = hashlib.sha256()
+    with open(path, "rb") as fh:
+        while True:
+            block = fh.read(chunk)
+            if not block:
+                break
+            h.update(block)
+    return h.hexdigest()
+
+
+def _canonical_json(obj) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def content_version(kind: str, meta: Mapping, arrays: Mapping[str, Mapping]) -> str:
+    """Deterministic version sealing kind + meta + every array digest."""
+    payload = _canonical_json({"kind": kind, "meta": meta, "arrays": arrays})
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def _native_little(arr: np.ndarray) -> np.ndarray:
+    arr = np.ascontiguousarray(arr)
+    if arr.dtype.byteorder == ">":
+        arr = arr.astype(arr.dtype.newbyteorder("<"))
+    return arr
+
+
+def is_container(path: PathLike) -> bool:
+    """True when ``path`` is a directory holding a store manifest."""
+    p = Path(path)
+    return p.is_dir() and (p / MANIFEST_NAME).is_file()
+
+
+def write_container(
+    path: PathLike,
+    arrays: Mapping[str, np.ndarray],
+    kind: str,
+    meta: Optional[Mapping] = None,
+    overwrite: bool = True,
+) -> Path:
+    """Atomically write ``arrays`` as a container directory at ``path``.
+
+    Array names become file names, so they must be simple identifiers.
+    Returns the final path. With ``overwrite=False`` an existing target
+    raises :class:`StoreError`.
+    """
+    path = Path(path)
+    meta = dict(meta or {})
+    if not arrays:
+        raise StoreError(path, "container needs at least one array")
+    for name in arrays:
+        if not name.isidentifier():
+            raise StoreError(path, f"array name {name!r} is not a valid identifier")
+    if path.exists() and not overwrite:
+        raise StoreError(path, "target exists and overwrite=False")
+
+    tmp = path.parent / f".{path.name}.tmp-{os.getpid()}-{os.urandom(4).hex()}"
+    tmp.mkdir(parents=True, exist_ok=False)
+    try:
+        entries: dict[str, dict] = {}
+        for name, arr in arrays.items():
+            arr = _native_little(np.asarray(arr))
+            fname = f"{name}.npy"
+            fpath = tmp / fname
+            with open(fpath, "wb") as fh:
+                np.save(fh, arr, allow_pickle=False)
+                fh.flush()
+                os.fsync(fh.fileno())
+            entries[name] = {
+                "file": fname,
+                "sha256": _sha256_file(fpath),
+                "shape": list(arr.shape),
+                "dtype": np.lib.format.dtype_to_descr(arr.dtype),
+                "nbytes": int(arr.nbytes),
+            }
+        manifest = {
+            "schema": SCHEMA,
+            "kind": str(kind),
+            "meta": meta,
+            "arrays": entries,
+            "content_version": content_version(str(kind), meta, entries),
+        }
+        mpath = tmp / MANIFEST_NAME
+        with open(mpath, "w", encoding="utf-8") as fh:
+            json.dump(manifest, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        _fsync_dir(tmp)
+
+        old: Optional[Path] = None
+        if path.exists():
+            old = path.parent / f".{path.name}.old-{os.getpid()}-{os.urandom(4).hex()}"
+            os.replace(path, old)
+        os.replace(tmp, path)
+        _fsync_dir(path.parent)
+        if old is not None:
+            shutil.rmtree(old, ignore_errors=True)
+    except BaseException:
+        shutil.rmtree(tmp, ignore_errors=True)
+        raise
+    return path
+
+
+def read_manifest(path: PathLike) -> dict:
+    """Parse and consistency-check a container manifest (no array reads).
+
+    Raises :class:`StoreError` for missing/foreign files and
+    :class:`StoreCorrupt` when the manifest does not parse, declares the
+    wrong schema, or its recorded ``content_version`` does not match a
+    recomputation over its own fields (catching any single-field edit).
+    """
+    path = Path(path)
+    mpath = path / MANIFEST_NAME
+    if not mpath.is_file():
+        raise StoreError(path, f"not a store container (missing {MANIFEST_NAME})")
+    try:
+        with open(mpath, "r", encoding="utf-8") as fh:
+            manifest = json.load(fh)
+    except (OSError, ValueError) as exc:
+        raise StoreCorrupt(path, f"unreadable manifest: {exc}") from exc
+    if not isinstance(manifest, dict) or manifest.get("schema") != SCHEMA:
+        raise StoreCorrupt(path, f"unsupported store schema {manifest.get('schema')!r}")
+    for field in ("kind", "meta", "arrays", "content_version"):
+        if field not in manifest:
+            raise StoreCorrupt(path, f"manifest missing field {field!r}")
+    expect = content_version(manifest["kind"], manifest["meta"], manifest["arrays"])
+    if manifest["content_version"] != expect:
+        raise StoreCorrupt(
+            path,
+            f"manifest content_version mismatch (recorded {manifest['content_version']}, "
+            f"recomputed {expect}) — manifest edited or damaged",
+        )
+    return manifest
+
+
+class Container:
+    """Read side of a container: provider-backed arrays + lazy digests.
+
+    Args:
+        path: container directory.
+        provider: array provider name or instance (default ``mmap`` — the
+            whole point of the format).
+        verify: ``"touch"`` (default) digest-checks each array the first
+            time it is opened; ``"eager"`` digests everything up front;
+            ``"none"`` skips digests (header shape/dtype checks and the
+            manifest seal still apply) — pair with :meth:`verify_all`.
+    """
+
+    def __init__(
+        self,
+        path: PathLike,
+        provider: Union[str, ArrayProvider, None] = "mmap",
+        verify: str = "touch",
+    ) -> None:
+        if verify not in VERIFY_MODES:
+            raise ValueError(f"verify must be one of {VERIFY_MODES}, got {verify!r}")
+        self.path = Path(path)
+        self.provider = get_provider(provider)
+        self.manifest = read_manifest(self.path)
+        self.kind: str = self.manifest["kind"]
+        self.meta: dict = self.manifest["meta"]
+        self._verify_on_touch = verify == "touch"
+        self._arrays: dict[str, np.ndarray] = {}
+        self._verified: set[str] = set()
+        if verify == "eager":
+            self.verify_all()
+
+    # -- introspection ---------------------------------------------------
+
+    def names(self) -> list[str]:
+        return sorted(self.manifest["arrays"])
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.manifest["arrays"]
+
+    def entry(self, name: str) -> dict:
+        try:
+            return self.manifest["arrays"][name]
+        except KeyError:
+            raise StoreError(self.path, f"container has no array {name!r}") from None
+
+    def nbytes(self) -> int:
+        """Total payload bytes across all arrays (from the manifest)."""
+        return sum(int(e["nbytes"]) for e in self.manifest["arrays"].values())
+
+    @property
+    def content_version(self) -> str:
+        return self.manifest["content_version"]
+
+    # -- integrity -------------------------------------------------------
+
+    def verify(self, name: str) -> None:
+        """Digest-check one array now (memoized; raises StoreCorrupt)."""
+        if name in self._verified:
+            return
+        entry = self.entry(name)
+        fpath = self.path / entry["file"]
+        if not fpath.is_file():
+            raise StoreCorrupt(self.path, f"array file {entry['file']!r} is missing")
+        digest = _sha256_file(fpath)
+        if digest != entry["sha256"]:
+            raise StoreCorrupt(
+                self.path,
+                f"array {name!r} sha256 mismatch (recorded {entry['sha256'][:16]}…, "
+                f"computed {digest[:16]}…)",
+            )
+        self._verified.add(name)
+
+    def verify_all(self) -> None:
+        """Digest-check every array (the explicit full-verify pass)."""
+        for name in self.names():
+            self.verify(name)
+
+    # -- access ----------------------------------------------------------
+
+    def array(self, name: str) -> np.ndarray:
+        """Open one array through the provider (memoized).
+
+        The ``.npy`` header is always checked against the manifest;
+        the content digest is checked here only in ``verify="touch"``
+        mode.
+        """
+        if name in self._arrays:
+            return self._arrays[name]
+        entry = self.entry(name)
+        fpath = self.path / entry["file"]
+        if not fpath.is_file():
+            raise StoreCorrupt(self.path, f"array file {entry['file']!r} is missing")
+        if self._verify_on_touch:
+            self.verify(name)
+        try:
+            arr = self.provider.load(fpath)
+        except (OSError, ValueError) as exc:
+            raise StoreCorrupt(self.path, f"array {name!r} unreadable: {exc}") from exc
+        if list(arr.shape) != list(entry["shape"]):
+            raise StoreCorrupt(
+                self.path,
+                f"array {name!r} shape {list(arr.shape)} != manifest {entry['shape']}",
+            )
+        if np.lib.format.dtype_to_descr(arr.dtype) != entry["dtype"]:
+            raise StoreCorrupt(
+                self.path,
+                f"array {name!r} dtype {np.lib.format.dtype_to_descr(arr.dtype)!r} "
+                f"!= manifest {entry['dtype']!r}",
+            )
+        self._arrays[name] = arr
+        return arr
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self.array(name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        mb = self.nbytes() / 1e6
+        return (
+            f"Container({self.path.name!r}, kind={self.kind!r}, "
+            f"arrays={self.names()}, {mb:.1f} MB, provider={self.provider.name})"
+        )

@@ -88,6 +88,36 @@ class TestCheckpoint:
             load_checkpoint(ckpt, graph)
 
 
+class TestUncompressedCheckpoint:
+    def test_compress_false_round_trip(self, planted, config, tmp_path):
+        graph, _ = planted
+        s = AMMSBSampler(graph, config)
+        s.run(5)
+        fast = tmp_path / "fast.npz"
+        slow = tmp_path / "slow.npz"
+        save_checkpoint(fast, s, compress=False)
+        save_checkpoint(slow, s, compress=True)
+        # loads auto-detect either variant and restore identical state
+        r = load_checkpoint(fast, graph)
+        np.testing.assert_array_equal(r.state.pi, s.state.pi)
+        np.testing.assert_array_equal(r.state.theta, s.state.theta)
+        assert r.iteration == s.iteration
+        # the stored archive skips deflate, so it can only be >= in size
+        assert fast.stat().st_size >= slow.stat().st_size
+
+    def test_uncompressed_resume_is_bit_identical(self, planted, config, tmp_path):
+        graph, _ = planted
+        reference = AMMSBSampler(graph, config)
+        reference.run(10)
+        half = AMMSBSampler(graph, config)
+        half.run(5)
+        ckpt = tmp_path / "half.npz"
+        save_checkpoint(ckpt, half, compress=False)
+        resumed = load_checkpoint(ckpt, graph)
+        resumed.run(5)
+        np.testing.assert_array_equal(resumed.state.pi, reference.state.pi)
+
+
 class TestAtomicWrite:
     def test_no_temp_files_left_behind(self, planted, config, tmp_path):
         graph, _ = planted

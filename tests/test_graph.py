@@ -126,6 +126,63 @@ class TestSubgraph:
         assert g2.n_edges == tiny_graph.n_edges
 
 
+class TestFromCsr:
+    def _parts(self, g):
+        return dict(
+            n_vertices=g.n_vertices,
+            edges=g.edges,
+            keys=g._keys,
+            indptr=g._csr_indptr,
+            indices=g._csr_indices,
+        )
+
+    def test_adopts_arrays_without_copying(self, tiny_graph):
+        parts = self._parts(tiny_graph)
+        g2 = Graph.from_csr(**parts)
+        assert g2._csr_indptr is parts["indptr"]
+        assert g2._csr_indices is parts["indices"]
+        assert g2.edges is parts["edges"]
+        assert g2._keys is parts["keys"]
+
+    def test_queries_match_canonical_construction(self, tiny_graph):
+        g2 = Graph.from_csr(**self._parts(tiny_graph))
+        assert g2.n_edges == tiny_graph.n_edges
+        np.testing.assert_array_equal(g2.degrees, tiny_graph.degrees)
+        for v in range(tiny_graph.n_vertices):
+            np.testing.assert_array_equal(
+                g2.neighbors(v), tiny_graph.neighbors(v)
+            )
+        assert g2.has_edge(0, 1) and not g2.has_edge(0, 5)
+
+    def test_validate_rejects_unsorted_keys(self, tiny_graph):
+        parts = self._parts(tiny_graph)
+        parts["keys"] = parts["keys"][::-1].copy()
+        with pytest.raises(ValueError, match="increasing"):
+            Graph.from_csr(**parts)
+
+    def test_validate_rejects_bad_indptr(self, tiny_graph):
+        parts = self._parts(tiny_graph)
+        bad = parts["indptr"].copy()
+        bad[-1] += 1
+        parts["indptr"] = bad
+        with pytest.raises(ValueError, match="indptr"):
+            Graph.from_csr(**parts)
+
+    def test_validate_rejects_out_of_range_indices(self, tiny_graph):
+        parts = self._parts(tiny_graph)
+        bad = parts["indices"].copy()
+        bad[0] = tiny_graph.n_vertices + 3
+        parts["indices"] = bad
+        with pytest.raises(ValueError, match="range"):
+            Graph.from_csr(**parts)
+
+    def test_validate_false_skips_checks(self, tiny_graph):
+        parts = self._parts(tiny_graph)
+        parts["keys"] = parts["keys"][::-1].copy()  # would fail validation
+        g2 = Graph.from_csr(**{**parts, "validate": False})
+        assert g2.n_edges == tiny_graph.n_edges
+
+
 class TestNonlinkSampling:
     def test_samples_are_nonlinks(self, tiny_graph, rng):
         pairs = tiny_graph.sample_nonlink_pairs(5, rng)

@@ -6,7 +6,15 @@ import numpy as np
 import pytest
 
 from repro.graph.graph import Graph
-from repro.graph.io import load_edge_list, load_npz, save_edge_list, save_npz
+from repro.graph.io import (
+    convert_graph,
+    load_csr,
+    load_edge_list,
+    load_npz,
+    save_csr,
+    save_edge_list,
+    save_npz,
+)
 
 
 class TestEdgeList:
@@ -45,6 +53,96 @@ class TestEdgeList:
         text = path.read_text()
         assert text.startswith("# hello\n# world\n")
         assert "Nodes: 6 Edges: 7" in text
+
+
+class TestStreamingParse:
+    """The chunked parser must agree with a one-shot parse exactly."""
+
+    def _messy_file(self, tmp_path, n=120, seed=0):
+        rng = np.random.default_rng(seed)
+        a = rng.integers(0, 60, size=n)
+        b = rng.integers(0, 60, size=n)
+        lines = ["# SNAP-ish header", "", "# FromNodeId\tToNodeId"]
+        for x, y in zip(a, b):
+            lines.append(f"{x}\t{y}")
+            if rng.random() < 0.15:
+                lines.append("")  # blank lines sprinkled through the body
+            if rng.random() < 0.1:
+                lines.append("# interior comment")
+        path = tmp_path / "messy.txt"
+        path.write_text("\n".join(lines) + "\n")
+        return path
+
+    def test_comments_and_blanks_anywhere(self, tmp_path):
+        path = self._messy_file(tmp_path)
+        g = load_edge_list(path)
+        assert g.n_edges > 0
+
+    @pytest.mark.parametrize("chunk_lines", [1, 7, 37, 1 << 16])
+    def test_chunk_size_invariant(self, tmp_path, chunk_lines):
+        """Chunk boundaries (including mid-comment, mid-blank) never
+        change the parse: every chunk size yields identical graphs."""
+        path = self._messy_file(tmp_path)
+        ref = load_edge_list(path, chunk_lines=1 << 20)
+        g = load_edge_list(path, chunk_lines=chunk_lines)
+        assert g.n_vertices == ref.n_vertices
+        np.testing.assert_array_equal(g.edges, ref.edges)
+
+    def test_ragged_rows_rejected(self, tmp_path):
+        path = tmp_path / "ragged.txt"
+        path.write_text("0 1\n1 2 9\n")
+        with pytest.raises(ValueError):
+            load_edge_list(path)
+
+
+class TestCsrContainer:
+    def test_round_trip_resident(self, tiny_graph, tmp_path):
+        save_csr(tiny_graph, tmp_path / "g.csr")
+        g2 = load_csr(tmp_path / "g.csr", provider="resident", validate=True)
+        assert g2.n_vertices == tiny_graph.n_vertices
+        np.testing.assert_array_equal(np.asarray(g2.edges), tiny_graph.edges)
+
+    def test_round_trip_mmap_queries_agree(self, tiny_graph, tmp_path):
+        save_csr(tiny_graph, tmp_path / "g.csr")
+        g2 = load_csr(tmp_path / "g.csr", provider="mmap")
+        pairs = np.array([[0, 1], [0, 3], [2, 3], [4, 5]])
+        np.testing.assert_array_equal(
+            g2.has_edges(pairs), tiny_graph.has_edges(pairs)
+        )
+        for v in range(tiny_graph.n_vertices):
+            np.testing.assert_array_equal(
+                g2.neighbors(v), tiny_graph.neighbors(v)
+            )
+
+    def test_mmap_arrays_are_mapped(self, tiny_graph, tmp_path):
+        save_csr(tiny_graph, tmp_path / "g.csr")
+        g2 = load_csr(tmp_path / "g.csr", provider="mmap")
+        indptr = g2._csr_indptr
+        base = indptr if isinstance(indptr, np.memmap) else indptr.base
+        assert isinstance(base, np.memmap)
+
+    def test_wrong_kind_rejected(self, tmp_path):
+        from repro.store import StoreError, write_container
+
+        write_container(tmp_path / "x.csr", {"edges": np.zeros((0, 2))},
+                        kind="other/1")
+        with pytest.raises(StoreError, match="not a graph CSR container"):
+            load_csr(tmp_path / "x.csr")
+
+
+class TestConvertGraph:
+    def test_from_edge_list(self, tiny_graph, tmp_path):
+        save_edge_list(tiny_graph, tmp_path / "g.txt")
+        g = convert_graph(tmp_path / "g.txt", tmp_path / "g.csr")
+        g2 = load_csr(tmp_path / "g.csr")
+        assert g.n_edges == g2.n_edges == tiny_graph.n_edges
+        np.testing.assert_array_equal(np.asarray(g2.edges), tiny_graph.edges)
+
+    def test_from_npz(self, tiny_graph, tmp_path):
+        save_npz(tiny_graph, tmp_path / "g.npz")
+        convert_graph(tmp_path / "g.npz", tmp_path / "g.csr")
+        g2 = load_csr(tmp_path / "g.csr", provider="resident", validate=True)
+        np.testing.assert_array_equal(np.asarray(g2.edges), tiny_graph.edges)
 
 
 class TestNpz:

@@ -98,6 +98,47 @@ class TestMultiprocess:
         snap.validate()
 
 
+class TestSharedGraphPath:
+    def test_graph_path_run_is_bit_identical(self, problem, tmp_path):
+        """Workers mapping a shared read-only CSR container reproduce the
+        ship-adjacency-over-pipes run exactly."""
+        from repro.graph.io import save_csr
+
+        split, cfg = problem
+        st0 = init_state(split.train.n_vertices, cfg, np.random.default_rng(4))
+        container = save_csr(split.train, tmp_path / "train_csr")
+
+        with MultiprocessAMMSBSampler(
+            split.train, cfg, n_workers=2, state=st0.copy()
+        ) as piped:
+            piped.run(8)
+            snap_piped = piped.state_snapshot()
+        with MultiprocessAMMSBSampler(
+            split.train, cfg, n_workers=2, state=st0.copy(),
+            graph_path=container,
+        ) as mapped:
+            mapped.run(8)
+            snap_mapped = mapped.state_snapshot()
+
+        np.testing.assert_array_equal(snap_mapped.pi, snap_piped.pi)
+        np.testing.assert_array_equal(snap_mapped.theta, snap_piped.theta)
+
+    def test_graph_path_vertex_mismatch_rejected(self, problem, tmp_path):
+        from repro.graph.generators import planted_overlapping_graph
+        from repro.graph.io import save_csr
+
+        split, cfg = problem
+        other, _ = planted_overlapping_graph(
+            60, 3, memberships_per_vertex=1, p_in=0.3, p_out=0.01,
+            rng=np.random.default_rng(0),
+        )
+        container = save_csr(other, tmp_path / "other_csr")
+        with pytest.raises(ValueError, match="n_vertices"):
+            MultiprocessAMMSBSampler(
+                split.train, cfg, n_workers=2, graph_path=container
+            )
+
+
 class TestArtifactPublishing:
     """The training loop can feed a serving process through the filesystem."""
 

@@ -6,17 +6,21 @@ import json
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.config import AMMSBConfig
 from repro.core.sampler import AMMSBSampler
 from repro.core.state import init_state
 from repro.serve.artifact import (
+    ArtifactCorrupt,
     ArtifactError,
     build_artifact,
     export_artifact,
     export_from_sampler,
     load_artifact,
     save_artifact,
+    save_artifact_v2,
 )
 
 
@@ -189,6 +193,127 @@ class TestArtifactErrors:
     def test_error_is_a_value_error(self, tmp_path):
         with pytest.raises(ValueError):
             load_artifact(tmp_path / "x.npz")
+
+
+class TestV2Format:
+    """v2 store-container directories next to the legacy v1 ``.npz``."""
+
+    @pytest.fixture()
+    def art(self, small_state, config):
+        return build_artifact(small_state, config, iteration=5)
+
+    def test_auto_dispatch_by_suffix(self, art, tmp_path):
+        p1 = save_artifact(tmp_path / "m.npz", art)  # v1: single file
+        p2 = save_artifact(tmp_path / "m_v2", art)  # v2: directory
+        assert p1.is_file() and p2.is_dir()
+        from repro.store import is_container
+
+        assert is_container(p2) and not is_container(p1)
+
+    def test_forced_formats(self, art, tmp_path):
+        assert save_artifact(tmp_path / "a", art, format="npz").is_file()
+        assert save_artifact(tmp_path / "b.npz", art, format="dir").is_dir()
+        with pytest.raises(ValueError, match="format"):
+            save_artifact(tmp_path / "c", art, format="bogus")
+
+    def test_v2_round_trip_matches_v1(self, art, tmp_path):
+        v1 = load_artifact(save_artifact(tmp_path / "m.npz", art))
+        v2 = load_artifact(save_artifact_v2(tmp_path / "m_v2", art))
+        assert v2.version == v1.version == art.version
+        assert v2.iteration == 5 and v2.config == art.config
+        for name in ("pi", "theta", "beta", "node_ids", "top_communities",
+                     "top_weights"):
+            np.testing.assert_array_equal(
+                np.asarray(getattr(v2, name)), getattr(v1, name)
+            )
+
+    def test_v2_arrays_are_mapped_readonly(self, art, tmp_path):
+        v2 = load_artifact(save_artifact_v2(tmp_path / "m", art))
+        base = v2.pi if isinstance(v2.pi, np.memmap) else v2.pi.base
+        assert isinstance(base, np.memmap)
+        with pytest.raises((ValueError, RuntimeError)):
+            v2.pi[0, 0] = 9.9
+
+    def test_v2_resident_provider(self, art, tmp_path):
+        v2 = load_artifact(
+            save_artifact_v2(tmp_path / "m", art), provider="resident"
+        )
+        assert not isinstance(v2.pi, np.memmap)
+        assert not isinstance(v2.pi.base, np.memmap)
+        np.testing.assert_array_equal(np.asarray(v2.pi), art.pi)
+
+    def test_verify_levels(self, art, tmp_path):
+        path = save_artifact_v2(tmp_path / "m", art)
+        for verify in (False, True, "full"):
+            got = load_artifact(path, verify=verify)
+            assert got.version == art.version
+        load_artifact(path, verify="full").verify_deep()
+
+    def test_v2_corruption_caught_at_full_verify(self, art, tmp_path):
+        path = save_artifact_v2(tmp_path / "m", art)
+        f = path / "pi.npy"
+        raw = bytearray(f.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        f.write_bytes(bytes(raw))
+        with pytest.raises(ArtifactCorrupt):
+            load_artifact(path, verify="full")
+
+    def test_v2_wrong_kind_rejected(self, tmp_path):
+        from repro.store import write_container
+
+        write_container(tmp_path / "x", {"pi": np.ones((2, 2))}, kind="other/1")
+        with pytest.raises(ArtifactError):
+            load_artifact(tmp_path / "x")
+
+    def test_missing_dir(self, tmp_path):
+        with pytest.raises(ArtifactError, match="does not exist"):
+            load_artifact(tmp_path / "absent_dir")
+
+    def test_nbytes_reported(self, art, tmp_path):
+        v2 = load_artifact(save_artifact_v2(tmp_path / "m", art))
+        assert v2.nbytes() >= art.pi.nbytes
+
+
+class TestProviderBitEquivalence:
+    """Acceptance: float64 query results are bit-identical whether the
+    artifact is served from heap arrays or a read-only memory map."""
+
+    @given(
+        n=st.integers(min_value=5, max_value=60),
+        k=st.integers(min_value=2, max_value=8),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_link_probability_bits_match(self, n, k, seed):
+        import tempfile
+        from pathlib import Path
+
+        from repro.serve.engine import QueryEngine
+
+        cfg = AMMSBConfig(n_communities=k, seed=seed % 1000)
+        art = build_artifact(
+            init_state(n, cfg, np.random.default_rng(seed)), cfg
+        )
+        rng = np.random.default_rng(seed + 1)
+        pairs = rng.integers(0, n, size=(32, 2)).astype(np.int64)
+        with tempfile.TemporaryDirectory() as tmp:
+            path = save_artifact_v2(Path(tmp) / "m", art)
+            results = {}
+            for provider in ("resident", "mmap"):
+                loaded = load_artifact(path, provider=provider)
+                eng = QueryEngine(loaded, provider=provider)
+                results[provider] = (
+                    eng.link_probability(pairs),
+                    eng.recommend_edges(0, min(5, n - 1)),
+                )
+        probs_r, rec_r = results["resident"]
+        probs_m, rec_m = results["mmap"]
+        assert probs_r.dtype == np.float64
+        # bit-identical, not merely close
+        np.testing.assert_array_equal(probs_r, probs_m)
+        assert [(int(a), float(s)) for a, s in rec_r] == [
+            (int(a), float(s)) for a, s in rec_m
+        ]
 
 
 class TestValidate:

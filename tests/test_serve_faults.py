@@ -340,6 +340,70 @@ class TestSwapFailureRollback:
             assert server.artifact.version == new.version
 
 
+class TestV2ArtifactFaults:
+    """Corruption handling for v2 (store-container) artifact directories."""
+
+    def _save_v2(self, tmp_path, art, name="swap_v2"):
+        return save_artifact(tmp_path / name, art, format="dir")
+
+    def test_corrupt_array_file_quarantined(self, tmp_path):
+        art = _artifact()
+        with ModelServer(art, n_workers=0) as server:
+            path = self._save_v2(tmp_path, _perturbed(art))
+            f = path / "pi.npy"
+            raw = bytearray(f.read_bytes())
+            raw[len(raw) // 2] ^= 0xFF  # mid-payload bit flip
+            f.write_bytes(bytes(raw))
+            with pytest.raises(ArtifactCorrupt) as ei:
+                server.publish_path(path)
+            assert not path.exists()  # whole directory moved aside
+            assert ei.value.quarantined.name == "swap_v2.quarantined"
+            assert (tmp_path / "swap_v2.quarantined").is_dir()
+            assert server.generation == 0
+            res = server.metrics.snapshot()["resilience"]
+            assert res["quarantines"] == 1 and res["publish_failures"] == 1
+
+    def test_corrupt_manifest_field_quarantined(self, tmp_path):
+        import json
+
+        art = _artifact()
+        with ModelServer(art, n_workers=0) as server:
+            path = self._save_v2(tmp_path, _perturbed(art))
+            mpath = path / "manifest.json"
+            m = json.loads(mpath.read_text())
+            m["meta"]["iteration"] = 999  # single manifest-field tamper
+            mpath.write_text(json.dumps(m))
+            with pytest.raises(ArtifactCorrupt):
+                server.publish_path(path)
+            assert not path.exists()
+            assert server.metrics.snapshot()["resilience"]["quarantines"] == 1
+
+    def test_failed_v2_publish_keeps_serving_last_known_good(self, tmp_path):
+        art = _artifact()
+        good, bad = _perturbed(art, seed=1), _perturbed(art, seed=2)
+        with ModelServer(art, n_workers=0) as server:
+            assert server.publish_path(self._save_v2(tmp_path, good, "good")) == 1
+            assert server.artifact.version == good.version
+            path = self._save_v2(tmp_path, bad, "bad")
+            (path / "theta.npy").write_bytes(b"garbage")
+            with pytest.raises(ArtifactCorrupt):
+                server.publish_path(path)
+            # still on the last-known-good artifact, and it still answers
+            assert server.artifact.version == good.version
+            assert good.version in server._registry.versions()
+            fut = server.link_probability(np.array([[0, 1]]))
+            server.process_once()
+            expect = QueryEngine(good).link_probability(np.array([[0, 1]]))
+            np.testing.assert_allclose(fut.result(timeout=5), expect)
+
+    def test_clean_v2_dir_installs(self, tmp_path):
+        art = _artifact()
+        new = _perturbed(art)
+        with ModelServer(art, n_workers=0) as server:
+            assert server.publish_path(self._save_v2(tmp_path, new)) == 1
+            assert server.artifact.version == new.version
+
+
 class TestStaleCacheEviction:
     def test_publish_purges_dead_generation_keys(self):
         with ModelServer(_artifact(), n_workers=0, cache_size=8) as server:

@@ -58,6 +58,51 @@ class TestQuickRun:
         lp = report["server"]["endpoints"]["link_probability"]
         assert lp["queries"] > 0 and lp["requests"] > 0
 
+    def test_storage_phase_present_and_sane(self, report):
+        s = report["storage"]
+        assert s["artifact"]["n_vertices"] == servebench.QUICK.storage_n_vertices
+        assert s["artifact"]["v1_npz_bytes"] > 0
+        assert s["artifact"]["v2_dir_bytes"] > 0
+        cs = s["cold_start"]
+        for fmt in ("v1_npz", "v2_dir"):
+            assert cs[fmt]["first_answer_s"] > 0
+            assert cs[fmt]["rss_delta_bytes"] >= 0
+        # the mapped directory must beat the compressed archive
+        assert s["cold_start_speedup"] > 1.0
+        assert 0 <= s["cold_rss_fraction"] < 1.0
+
+    def test_storage_post_swap_serves_the_published_version(self, report):
+        ps = report["storage"]["post_swap"]
+        assert ps["swap_installed"] is True
+        assert ps["swap_generation"] >= 1
+        assert ps["requests"] == servebench.QUICK.storage_requests
+        assert ps["p99_ms"] >= ps["p50_ms"] > 0
+
+    def test_cold_start_acceptance_keys(self, report):
+        acc = report["acceptance"]
+        assert acc["target_cold_start_speedup"] == servebench.TARGET_COLD_START_SPEEDUP
+        assert acc["achieved_cold_start_speedup"] == pytest.approx(
+            report["storage"]["cold_start_speedup"]
+        )
+        assert isinstance(acc["meets_cold_start_target"], bool)
+
+    def test_compare_reports_flags_cold_start_regression(self, report):
+        import copy
+
+        slower = copy.deepcopy(report)
+        slower["storage"]["cold_start_speedup"] = (
+            report["storage"]["cold_start_speedup"] * 0.2
+        )
+        rows = servebench.compare_reports(report, slower, threshold=0.5)
+        bad = [r for r in rows if r["regressed"]]
+        assert any("cold_start_speedup" in r["metric"] for r in bad)
+        clean = servebench.compare_reports(report, copy.deepcopy(report))
+        ratio_row = next(
+            r for r in clean if r["metric"] == "storage/cold_start_speedup"
+        )
+        assert ratio_row["ratio"] == pytest.approx(1.0)
+        assert ratio_row["regressed"] is False
+
     def test_rows_and_save_load(self, report, tmp_path):
         rows = servebench.report_rows(report)
         assert any("queries/s" == r["metric"] for r in rows)
@@ -93,6 +138,16 @@ class TestCommittedBaseline:
         w = baseline["workload"]
         assert w["n_vertices"] == 10_000 and w["n_communities"] == 64
         assert baseline["quick"] is False
+
+    def test_meets_cold_start_target(self, baseline):
+        acc = baseline["acceptance"]
+        assert acc["target_cold_start_speedup"] == servebench.TARGET_COLD_START_SPEEDUP
+        assert acc["meets_cold_start_target"] is True
+        assert (
+            baseline["storage"]["cold_start_speedup"]
+            >= servebench.TARGET_COLD_START_SPEEDUP
+        )
+        assert baseline["storage"]["post_swap"]["swap_installed"] is True
 
     def test_hot_swap_clean(self, baseline):
         hs = baseline["hot_swap"]

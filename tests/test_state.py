@@ -29,6 +29,43 @@ class TestInit:
         assert ((st0.beta > 0) & (st0.beta < 1)).all()
 
 
+class TestProviderRouting:
+    def test_default_path_unchanged_by_provider_arg_absence(self, config):
+        """provider=None is the legacy single-draw path, bit-identical."""
+        a = init_state(30, config, np.random.default_rng(7))
+        b = init_state(30, config, np.random.default_rng(7), provider=None)
+        np.testing.assert_array_equal(a.pi, b.pi)
+        np.testing.assert_array_equal(a.phi_sum, b.phi_sum)
+
+    def test_resident_provider_valid_state(self, config):
+        st0 = init_state(40, config, np.random.default_rng(2),
+                         provider="resident")
+        assert st0.pi.shape == (40, config.n_communities)
+        assert st0.phi_sum.shape == (40,)
+        assert np.isfinite(st0.pi).all() and (st0.pi > 0).all()
+        np.testing.assert_allclose(st0.pi.sum(axis=1), 1.0, atol=1e-6)
+        st0.validate()
+
+    def test_mmap_provider_state_is_writable_scratch(self, config):
+        st0 = init_state(40, config, np.random.default_rng(2),
+                         provider="mmap")
+        assert isinstance(st0.pi, np.memmap)
+        st0.pi[0, 0] = st0.pi[0, 0]  # scratch must accept writes
+        st0.validate()
+
+    def test_chunked_fill_deterministic(self, config):
+        a = init_state(50, config, np.random.default_rng(3),
+                       provider="resident", chunk_rows=7)
+        b = init_state(50, config, np.random.default_rng(3),
+                       provider="resident", chunk_rows=7)
+        np.testing.assert_array_equal(a.pi, b.pi)
+        # different chunking = different RNG consumption order: still a
+        # valid state, just a different sample
+        c = init_state(50, config, np.random.default_rng(3),
+                       provider="resident", chunk_rows=50)
+        c.validate()
+
+
 class TestPhiRoundTrip:
     def test_phi_rows_reconstruct(self, config, rng):
         st0 = init_state(20, config, rng)

@@ -1,0 +1,203 @@
+"""Storage tier: container format, digests, providers, corruption."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.store import (
+    Container,
+    MmapProvider,
+    ResidentProvider,
+    StoreCorrupt,
+    StoreError,
+    available_providers,
+    content_version,
+    get_provider,
+    is_container,
+    read_manifest,
+    write_container,
+)
+
+
+@pytest.fixture()
+def arrays():
+    rng = np.random.default_rng(0)
+    return {
+        "pi": rng.random((40, 8)),
+        "ids": np.arange(40, dtype=np.int64),
+        "flags": np.zeros(5, dtype=bool),
+    }
+
+
+@pytest.fixture()
+def box(arrays, tmp_path):
+    return write_container(tmp_path / "box", arrays, kind="test-kind/1",
+                           meta={"n": 40})
+
+
+class TestWriteContainer:
+    def test_round_trip_every_dtype(self, arrays, box):
+        c = Container(box)
+        assert c.kind == "test-kind/1"
+        assert c.meta == {"n": 40}
+        for name, ref in arrays.items():
+            got = np.asarray(c[name])
+            assert got.dtype == ref.dtype
+            np.testing.assert_array_equal(got, ref)
+
+    def test_is_container(self, box, tmp_path):
+        assert is_container(box)
+        assert not is_container(tmp_path / "absent")
+        plain = tmp_path / "plain"
+        plain.mkdir()
+        assert not is_container(plain)
+
+    def test_atomic_overwrite_leaves_no_debris(self, arrays, box, tmp_path):
+        write_container(box, {"pi": arrays["pi"] + 1.0}, kind="test-kind/1")
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["box"]
+        c = Container(box)
+        assert c.names() == ["pi"]
+        np.testing.assert_array_equal(np.asarray(c["pi"]), arrays["pi"] + 1.0)
+
+    def test_overwrite_false_refuses(self, arrays, box):
+        with pytest.raises(StoreError, match="exists"):
+            write_container(box, arrays, kind="test-kind/1", overwrite=False)
+
+    def test_bad_array_name_rejected(self, tmp_path):
+        with pytest.raises(StoreError, match="name"):
+            write_container(tmp_path / "b", {"a/b": np.zeros(3)}, kind="k/1")
+
+    def test_content_version_sealed_and_deterministic(self, arrays, box, tmp_path):
+        again = write_container(tmp_path / "box2", arrays, kind="test-kind/1",
+                                meta={"n": 40})
+        m1, m2 = read_manifest(box), read_manifest(again)
+        assert m1["content_version"] == m2["content_version"]
+        assert m1["content_version"] == content_version(
+            m1["kind"], m1["meta"], m1["arrays"]
+        )
+
+
+class TestVerify:
+    def _flip_payload_byte(self, box, name="pi"):
+        f = box / f"{name}.npy"
+        raw = bytearray(f.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF  # mid-payload: past the .npy header
+        f.write_bytes(bytes(raw))
+
+    def test_eager_catches_flipped_byte(self, box):
+        self._flip_payload_byte(box)
+        with pytest.raises(StoreCorrupt, match="sha256 mismatch"):
+            Container(box, verify="eager")
+
+    def test_touch_defers_until_access(self, box):
+        self._flip_payload_byte(box)
+        c = Container(box, verify="touch")  # constructing is fine
+        np.asarray(c["ids"])  # untouched arrays still load
+        with pytest.raises(StoreCorrupt, match="sha256 mismatch"):
+            c.array("pi")
+
+    def test_none_skips_digests_but_checks_headers(self, box):
+        self._flip_payload_byte(box)
+        c = Container(box, verify="none")
+        np.asarray(c["pi"])  # payload flip invisible without digests
+        c.verify("ids")  # intact array passes an explicit check
+        with pytest.raises(StoreCorrupt):
+            c.verify("pi")
+
+    def test_verify_all_sweeps_everything(self, box):
+        Container(box, verify="none").verify_all()
+        self._flip_payload_byte(box, "flags")
+        with pytest.raises(StoreCorrupt):
+            Container(box, verify="none").verify_all()
+
+    def test_manifest_field_edit_caught_with_zero_array_reads(self, box):
+        import json
+
+        mpath = box / "manifest.json"
+        m = json.loads(mpath.read_text())
+        m["meta"]["n"] = 41  # single-field tamper
+        mpath.write_text(json.dumps(m))
+        with pytest.raises(StoreCorrupt, match="content_version"):
+            Container(box, verify="none")
+
+    def test_manifest_array_entry_edit_caught(self, box):
+        import json
+
+        mpath = box / "manifest.json"
+        m = json.loads(mpath.read_text())
+        m["arrays"]["pi"]["shape"] = [41, 8]
+        mpath.write_text(json.dumps(m))
+        with pytest.raises(StoreCorrupt):
+            Container(box, verify="none")
+
+    def test_missing_array_file(self, box):
+        os.unlink(box / "ids.npy")
+        with pytest.raises(StoreCorrupt, match="ids"):
+            np.asarray(Container(box, verify="none")["ids"])
+
+    def test_header_shape_mismatch_caught(self, box, arrays):
+        # rewrite pi.npy with one fewer row but keep the manifest
+        manifest = (box / "manifest.json").read_bytes()
+        np.save(box / "pi.npy", arrays["pi"][:-1])
+        (box / "manifest.json").write_bytes(manifest)
+        with pytest.raises(StoreCorrupt, match="shape"):
+            np.asarray(Container(box, verify="none")["pi"])
+
+    def test_not_a_container(self, tmp_path):
+        with pytest.raises(StoreError, match="manifest"):
+            Container(tmp_path / "nope")
+
+    def test_store_errors_are_value_errors(self, tmp_path):
+        with pytest.raises(ValueError):
+            Container(tmp_path / "nope")
+        assert issubclass(StoreCorrupt, StoreError)
+
+
+class TestProviders:
+    def test_registry(self):
+        assert set(available_providers()) == {"resident", "mmap"}
+        assert isinstance(get_provider("resident"), ResidentProvider)
+        assert isinstance(get_provider("mmap"), MmapProvider)
+        p = MmapProvider()
+        assert get_provider(p) is p
+        with pytest.raises(ValueError, match="unknown array provider"):
+            get_provider("bogus")
+
+    def test_env_var_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ARRAY_PROVIDER", raising=False)
+        assert isinstance(get_provider(None), ResidentProvider)
+        monkeypatch.setenv("REPRO_ARRAY_PROVIDER", "mmap")
+        assert isinstance(get_provider(None), MmapProvider)
+
+    def test_mmap_load_is_readonly_map(self, box):
+        arr = Container(box, provider="mmap")["pi"]
+        base = arr if isinstance(arr, np.memmap) else arr.base
+        assert isinstance(base, np.memmap)
+        with pytest.raises((ValueError, RuntimeError)):
+            arr[0, 0] = 1.0
+
+    def test_resident_load_is_plain_heap_array(self, box):
+        arr = Container(box, provider="resident")["pi"]
+        assert type(arr) is np.ndarray
+        assert not isinstance(arr, np.memmap)
+        assert not isinstance(arr.base, np.memmap)
+        assert arr.flags.writeable
+
+    def test_mmap_allocate_scratch_is_writable_and_unlinked(self, tmp_path):
+        p = MmapProvider(scratch_dir=tmp_path)
+        out = p.allocate((100, 3), np.float64)
+        out[:] = 7.0
+        assert float(out.sum()) == 2100.0
+        # scalar shapes work too (engine passes src.size)
+        v = p.allocate(5, np.float64)
+        assert v.shape == (5,)
+        # the backing file was unlinked at creation: nothing to leak
+        assert list(tmp_path.iterdir()) == []
+
+    def test_providers_load_identical_bits(self, box):
+        a = np.asarray(Container(box, provider="resident")["pi"])
+        b = np.asarray(Container(box, provider="mmap")["pi"])
+        np.testing.assert_array_equal(a, b)
