@@ -45,8 +45,8 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import os
-import queue as queue_mod
 import time
+from multiprocessing import connection as mp_connection
 from dataclasses import dataclass
 from multiprocessing import shared_memory
 from pathlib import Path
@@ -97,7 +97,11 @@ def _worker_loop(
 
     Every result message is ``(tag, worker_id, seq, key, payload)`` where
     ``seq`` echoes the command's sequence number — the master uses it to
-    drop stragglers from rounds aborted by a failure.
+    drop stragglers from rounds aborted by a failure. ``res_send`` is
+    this worker's PRIVATE result pipe: a worker that dies mid-send can
+    corrupt only its own channel, never wedge a peer (a shared queue's
+    write lock would be abandoned by an abrupt ``os._exit`` and block
+    every survivor — exactly the failure the chaos tests inject).
 
     ``graph_path`` (a CSR container from ``repro convert-graph``) turns
     on shared-graph mode: the worker memory-maps the full graph
@@ -112,6 +116,14 @@ def _worker_loop(
             from repro.graph.io import load_csr
 
             mapped_graph = load_csr(graph_path, provider="mmap")
+        def send_result(msg) -> None:
+            try:
+                res_send.send(msg)
+            except (BrokenPipeError, OSError):
+                # Master closed its end (shutdown) or died: no reader
+                # left, nothing useful to do in this process.
+                os._exit(0)
+
         table = np.ndarray(table_shape, dtype=np.dtype(dtype_str), buffer=shm.buf)
         # Same streams as WorkerContext, so backends agree bit-for-bit.
         rng = np.random.default_rng(config.seed + 1009 * (worker_id + 1))
@@ -189,7 +201,7 @@ def _worker_loop(
                 vs = shard.vertices
                 if vs.size == 0:
                     pending = _PhiResult(vs, np.zeros((0, k + 1)))
-                    res_send.put(("phi_done", worker_id, seq, worker_id, None))
+                    send_result(("phi_done", worker_id, seq, worker_id, None))
                     continue
                 ns = sample_neighbors(shard)
                 all_keys = np.concatenate([vs, ns.neighbors.reshape(-1)])
@@ -219,12 +231,12 @@ def _worker_loop(
                     vs,
                     np.concatenate([new_phi / sums[:, None], sums[:, None]], axis=1),
                 )
-                res_send.put(("phi_done", worker_id, seq, worker_id, None))
+                send_result(("phi_done", worker_id, seq, worker_id, None))
             elif op == "pi_write":
                 assert pending is not None
                 if pending.vertices.size:
                     table[pending.vertices] = pending.new_values
-                res_send.put(("write_done", worker_id, seq, worker_id, None))
+                send_result(("write_done", worker_id, seq, worker_id, None))
             elif op == "theta_partial":
                 _, _, theta = cmd
                 assert shard is not None
@@ -245,7 +257,7 @@ def _worker_loop(
                     )
                 else:
                     grad = np.zeros_like(theta)
-                res_send.put(("theta", worker_id, seq, worker_id, grad))
+                send_result(("theta", worker_id, seq, worker_id, grad))
             elif op == "perplexity":
                 _, _, part, pairs, labels, beta = cmd
                 from repro.core.perplexity import link_probability
@@ -259,7 +271,7 @@ def _worker_loop(
                     probs = np.where(labels, p1, 1.0 - p1)
                 else:
                     probs = np.zeros(0)
-                res_send.put(("perp", worker_id, seq, part, probs))
+                send_result(("perp", worker_id, seq, part, probs))
             else:  # pragma: no cover - protocol guard
                 raise RuntimeError(f"unknown command {op!r}")
     finally:
@@ -391,13 +403,19 @@ class MultiprocessAMMSBSampler:
 
         ctx = mp.get_context("fork")
         self._cmd_pipes = []
-        # A real Queue (not SimpleQueue) so result collection can poll
-        # with a timeout — the heartbeat that makes hangs impossible.
-        self._res_queue = ctx.Queue()
+        # One PRIVATE result pipe per worker, polled with a timeout via
+        # connection.wait() — the heartbeat that makes hangs impossible.
+        # A single shared queue would couple the workers through its
+        # write lock: a worker dying abruptly (os._exit, SIGKILL, OOM)
+        # mid-send would abandon the lock and wedge every survivor, so
+        # a crash of one worker became a stall of all of them.
+        self._res_pipes = []
         self._procs = []
         for w in range(n_workers):
             recv, send = ctx.Pipe(duplex=False)
             self._cmd_pipes.append(send)
+            res_recv, res_send = ctx.Pipe(duplex=False)
+            self._res_pipes.append(res_recv)
             proc = ctx.Process(
                 target=_worker_loop,
                 args=(
@@ -410,7 +428,7 @@ class MultiprocessAMMSBSampler:
                     heldout_keys,
                     self.faults,
                     recv,
-                    self._res_queue,
+                    res_send,
                     str(self.graph_path) if self.graph_path is not None else None,
                 ),
                 daemon=True,
@@ -463,8 +481,11 @@ class MultiprocessAMMSBSampler:
             if proc.is_alive():  # pragma: no cover - terminate ignored
                 proc.kill()
                 proc.join()
-        self._res_queue.close()
-        self._res_queue.cancel_join_thread()
+        for conn in self._res_pipes:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
         self._shm.close()
         try:
             self._shm.unlink()
@@ -509,38 +530,50 @@ class MultiprocessAMMSBSampler:
         out: dict = {}
         deadline = time.monotonic() + self.heartbeat_timeout
         while remaining:
-            try:
-                msg = self._res_queue.get(timeout=self.poll_interval)
-            except queue_mod.Empty:
-                dead = [
-                    w for w in self._active if self._procs[w].exitcode is not None
-                ]
-                if dead:
-                    raise WorkerCrashed(dead)
-                if time.monotonic() > deadline:
-                    # Alive but silent past the heartbeat: fence by
-                    # termination so the recovery set cannot race.
-                    silent = sorted(
-                        {w for w in self._active if self._expects(w, remaining, expected_tag)}
+            ready = mp_connection.wait(
+                [self._res_pipes[w] for w in self._active],
+                timeout=self.poll_interval,
+            )
+            progressed = False
+            for conn in ready:
+                try:
+                    msg = conn.recv()
+                except (EOFError, OSError):
+                    # The sender died with its pipe; only ITS channel is
+                    # gone — the exitcode check below names it.
+                    continue
+                tag, worker, mseq, key, payload = msg
+                if mseq != seq:
+                    progressed = True  # alive, just a straggler
+                    continue  # from an aborted round; drop
+                if tag != expected_tag or key not in remaining:
+                    raise RuntimeError(
+                        f"protocol error: expected {expected_tag} for {sorted(remaining)}, "
+                        f"got {tag} key={key} from worker {worker}"
                     )
-                    if not silent:  # pragma: no cover - defensive
-                        silent = sorted(self._active)
-                    for w in silent:
-                        self._procs[w].terminate()
-                    for w in silent:
-                        self._procs[w].join(timeout=2.0)
-                    raise WorkerCrashed(silent, stalled=True)
+                remaining.discard(key)
+                out[key] = payload
+                progressed = True
+            if not remaining or progressed:
                 continue
-            tag, worker, mseq, key, payload = msg
-            if mseq != seq:
-                continue  # straggler from an aborted round; drop
-            if tag != expected_tag or key not in remaining:
-                raise RuntimeError(
-                    f"protocol error: expected {expected_tag} for {sorted(remaining)}, "
-                    f"got {tag} key={key} from worker {worker}"
+            dead = [
+                w for w in self._active if self._procs[w].exitcode is not None
+            ]
+            if dead:
+                raise WorkerCrashed(dead)
+            if time.monotonic() > deadline:
+                # Alive but silent past the heartbeat: fence by
+                # termination so the recovery set cannot race.
+                silent = sorted(
+                    {w for w in self._active if self._expects(w, remaining, expected_tag)}
                 )
-            remaining.discard(key)
-            out[key] = payload
+                if not silent:  # pragma: no cover - defensive
+                    silent = sorted(self._active)
+                for w in silent:
+                    self._procs[w].terminate()
+                for w in silent:
+                    self._procs[w].join(timeout=2.0)
+                raise WorkerCrashed(silent, stalled=True)
         return out
 
     def _expects(self, worker: int, remaining: set, tag: str) -> bool:
