@@ -45,8 +45,11 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import os
+import select
+import struct
 import time
 from multiprocessing import connection as mp_connection
+from multiprocessing.reduction import ForkingPickler
 from dataclasses import dataclass
 from multiprocessing import shared_memory
 from pathlib import Path
@@ -89,8 +92,7 @@ def _worker_loop(
     n_vertices: int,
     heldout_keys: Optional[np.ndarray],
     faults: Optional[FaultPlan],
-    cmd_recv,
-    res_send,
+    pipes: list,
     graph_path: Optional[str] = None,
 ) -> None:
     """Worker process: command loop over the shared pi table.
@@ -103,12 +105,30 @@ def _worker_loop(
     write lock would be abandoned by an abrupt ``os._exit`` and block
     every survivor — exactly the failure the chaos tests inject).
 
+    ``pipes`` is the full pipe table, one ``(cmd_recv, cmd_send,
+    res_recv, res_send)`` tuple per worker. Forked children inherit
+    EVERY end, so the first thing a worker does is close everything
+    that is not its own ``cmd_recv``/``res_send``. Without this
+    hygiene, pipe EOF semantics are fiction: a worker killed mid-send
+    (SIGKILL, OOM) leaves its result pipe held open by siblings and by
+    the master's own inherited write end, so the partial message never
+    terminates in EOF and the master blocks forever in ``recv()``; the
+    master closing its pipe ends at shutdown likewise never surfaces as
+    ``BrokenPipeError``/``EOFError`` here.
+
     ``graph_path`` (a CSR container from ``repro convert-graph``) turns
     on shared-graph mode: the worker memory-maps the full graph
     read-only — every worker process shares ONE physical copy through
     the page cache — and answers ``y_ab`` from it directly, so shards
     arrive without adjacency slices.
     """
+    cmd_recv, _, _, res_send = pipes[worker_id]
+    for i, (cr, cs, rr, rs) in enumerate(pipes):
+        cs.close()
+        rr.close()
+        if i != worker_id:
+            cr.close()
+            rs.close()
     shm = shared_memory.SharedMemory(name=shm_name)
     try:
         mapped_graph: Optional[Graph] = None
@@ -179,9 +199,10 @@ def _worker_loop(
         while True:
             try:
                 cmd = cmd_recv.recv()
-            except EOFError:
-                # Master closed its end (prompt shutdown) or died; either
-                # way there is no more work.
+            except (EOFError, OSError):
+                # Master closed its end (prompt shutdown) or died —
+                # possibly mid-frame, which surfaces as OSError rather
+                # than EOFError; either way there is no more work.
                 break
             op = cmd[0]
             if op == "stop":
@@ -302,7 +323,10 @@ class MultiprocessAMMSBSampler:
             result before fencing silent-but-alive workers as dead (a
             worker whose *process* exited is detected within
             ``poll_interval`` regardless).
-        poll_interval: result-queue poll granularity, real seconds.
+        poll_interval: granularity, in real seconds, of the per-worker
+            result-pipe polling (``connection.wait`` timeouts while
+            collecting, and writability waits while a command send
+            finds a full pipe).
         shutdown_timeout: grace period :meth:`close` allows workers to
             exit before escalating to ``terminate()``.
         checkpoint_path: opt-in auto-checkpoint target (atomic writes via
@@ -402,20 +426,37 @@ class MultiprocessAMMSBSampler:
             self._prob_sums = [np.zeros(len(p)) for p, _ in self._heldout_parts]
 
         ctx = mp.get_context("fork")
-        self._cmd_pipes = []
-        # One PRIVATE result pipe per worker, polled with a timeout via
+        # One PRIVATE command pipe and one PRIVATE result pipe per
+        # worker; results are polled with a timeout via
         # connection.wait() — the heartbeat that makes hangs impossible.
         # A single shared queue would couple the workers through its
         # write lock: a worker dying abruptly (os._exit, SIGKILL, OOM)
         # mid-send would abandon the lock and wedge every survivor, so
         # a crash of one worker became a stall of all of them.
-        self._res_pipes = []
+        #
+        # All pipes are created BEFORE any fork and the full table is
+        # handed to every worker, so each side can close the ends that
+        # are not its own (see _worker_loop). Command write ends are
+        # non-blocking: _send interleaves result draining while a pipe
+        # is full instead of deadlocking against a worker that is
+        # itself blocked writing a large result.
+        pipes = []
+        for _ in range(n_workers):
+            cmd_recv, cmd_send = ctx.Pipe(duplex=False)
+            res_recv, res_send = ctx.Pipe(duplex=False)
+            pipes.append((cmd_recv, cmd_send, res_recv, res_send))
+        self._cmd_pipes = [p[1] for p in pipes]
+        self._res_pipes = [p[2] for p in pipes]
+        for send in self._cmd_pipes:
+            os.set_blocking(send.fileno(), False)
+        #: Results drained opportunistically during _send, consumed by
+        #: the next _collect.
+        self._stash: list = []
+        #: Workers whose result pipe has hit EOF (dead senders) — kept
+        #: out of every subsequent wait/poll set.
+        self._res_eof: set[int] = set()
         self._procs = []
         for w in range(n_workers):
-            recv, send = ctx.Pipe(duplex=False)
-            self._cmd_pipes.append(send)
-            res_recv, res_send = ctx.Pipe(duplex=False)
-            self._res_pipes.append(res_recv)
             proc = ctx.Process(
                 target=_worker_loop,
                 args=(
@@ -427,14 +468,20 @@ class MultiprocessAMMSBSampler:
                     graph.n_vertices,
                     heldout_keys,
                     self.faults,
-                    recv,
-                    res_send,
+                    pipes,
                     str(self.graph_path) if self.graph_path is not None else None,
                 ),
                 daemon=True,
             )
             proc.start()
             self._procs.append(proc)
+        # The master never touches the worker-side ends again: close
+        # them so EOF/BrokenPipeError semantics actually hold (a dead
+        # worker's result pipe must reach EOF; a worker writing after
+        # close() must get BrokenPipeError, not block).
+        for cmd_recv, _, _, res_send in pipes:
+            cmd_recv.close()
+            res_send.close()
         #: Worker ids still alive and holding shards (shrinks on recovery).
         self._active: list[int] = list(range(n_workers))
         self._seq = 0
@@ -511,12 +558,89 @@ class MultiprocessAMMSBSampler:
         return self._seq
 
     def _send(self, worker: int, payload: tuple) -> None:
-        try:
-            self._cmd_pipes[worker].send(payload)
-        except (BrokenPipeError, OSError):
-            # The worker died with its pipe; the collect deadline turns
-            # this into a WorkerCrashed with full context.
-            pass
+        """Scatter one command without ever deadlocking on a full pipe.
+
+        A plain blocking ``Connection.send`` can wedge the whole run:
+        when the target worker is itself blocked writing a large result
+        (> the ~64KB pipe buffer) that the master has not yet started
+        collecting — e.g. several held-out parts shipped back-to-back
+        to one survivor after recovery shrank the active set — the
+        command pipe never drains and both sides block forever, outside
+        the reach of the heartbeat. The command fds are non-blocking:
+        while a pipe is full this loop drains every worker's result
+        pipe into :attr:`_stash` (consumed by the next :meth:`_collect`)
+        so the worker's pending send can complete and it returns to
+        ``recv``. A worker whose command pipe stays full past
+        ``heartbeat_timeout`` is fenced by termination, exactly like a
+        silent worker in :meth:`_collect`.
+        """
+        conn = self._cmd_pipes[worker]
+        if conn.closed:
+            return
+        data = bytes(ForkingPickler.dumps(payload))
+        n = len(data)
+        # Frame exactly like Connection.send so the worker-side recv()
+        # stays untouched: "!i" length header (the >2GB form is the
+        # -1 marker + "!Q" length).
+        if n <= 0x7FFFFFFF:
+            buf = memoryview(struct.pack("!i", n) + data)
+        else:  # pragma: no cover - >2GB command
+            buf = memoryview(struct.pack("!i", -1) + struct.pack("!Q", n) + data)
+        fd = conn.fileno()
+        pos = 0
+        deadline = time.monotonic() + self.heartbeat_timeout
+        while pos < len(buf):
+            try:
+                pos += os.write(fd, buf[pos:])
+                continue
+            except BlockingIOError:
+                pass
+            except OSError:
+                # The worker died with its pipe (EPIPE); the collect
+                # deadline turns this into a WorkerCrashed with context.
+                return
+            # Pipe full: the worker is busy, possibly blocked writing a
+            # result. Drain results so it can make progress, then wait
+            # (bounded) for writability or for more results to drain.
+            self._drain_results()
+            if self._procs[worker].exitcode is not None:
+                return
+            if time.monotonic() > deadline:
+                # Wedged with a full command pipe past the heartbeat:
+                # fence it so the failure set is stable; the next
+                # _collect reports it dead and recovery heals the loss.
+                self._procs[worker].terminate()
+                self._procs[worker].join(timeout=2.0)
+                return
+            readable = [
+                self._res_pipes[w]
+                for w in self._active
+                if w not in self._res_eof and not self._res_pipes[w].closed
+            ]
+            try:
+                select.select(readable, [fd], [], self.poll_interval)
+            except OSError:  # pragma: no cover - fd closed under us
+                return
+
+    def _drain_results(self) -> None:
+        """Stash every already-available result message, without waiting.
+
+        Called while a command send is blocked on a full pipe: the
+        target worker may be mid-write of a large result, and consuming
+        it is what lets the worker finish and drain its command pipe.
+        Messages go to :attr:`_stash`; :meth:`_collect` consumes them
+        first, and its sequence-number check drops stale rounds.
+        """
+        for w in list(self._active):
+            if w in self._res_eof:
+                continue
+            conn = self._res_pipes[w]
+            try:
+                while not conn.closed and conn.poll(0):
+                    self._stash.append(conn.recv())
+            except (EOFError, OSError):
+                # Sender died with its pipe; exitcode checks name it.
+                self._res_eof.add(w)
 
     def _collect(self, expected_tag: str, keys: Sequence[int], seq: int) -> dict:
         """Gather one result per key, with heartbeat-based failure detection.
@@ -530,18 +654,34 @@ class MultiprocessAMMSBSampler:
         out: dict = {}
         deadline = time.monotonic() + self.heartbeat_timeout
         while remaining:
-            ready = mp_connection.wait(
-                [self._res_pipes[w] for w in self._active],
-                timeout=self.poll_interval,
-            )
+            # Results drained while _send waited on a full pipe come
+            # first; only then poll the live pipes.
+            msgs, self._stash = self._stash, []
+            if not msgs:
+                by_conn = {
+                    self._res_pipes[w]: w
+                    for w in self._active
+                    if w not in self._res_eof and not self._res_pipes[w].closed
+                }
+                if by_conn:
+                    ready = mp_connection.wait(
+                        list(by_conn), timeout=self.poll_interval
+                    )
+                else:
+                    # Every channel is gone; fall through to the
+                    # exitcode check at poll granularity.
+                    ready = []
+                    time.sleep(self.poll_interval)
+                for conn in ready:
+                    try:
+                        msgs.append(conn.recv())
+                    except (EOFError, OSError):
+                        # The sender died with its pipe; only ITS channel
+                        # is gone — the exitcode check below names it.
+                        # Never wait on it again (EOF stays readable).
+                        self._res_eof.add(by_conn[conn])
             progressed = False
-            for conn in ready:
-                try:
-                    msg = conn.recv()
-                except (EOFError, OSError):
-                    # The sender died with its pipe; only ITS channel is
-                    # gone — the exitcode check below names it.
-                    continue
+            for msg in msgs:
                 tag, worker, mseq, key, payload = msg
                 if mseq != seq:
                     progressed = True  # alive, just a straggler
@@ -603,6 +743,10 @@ class MultiprocessAMMSBSampler:
             proc.join(timeout=2.0)
             try:
                 self._cmd_pipes[w].close()
+            except OSError:  # pragma: no cover
+                pass
+            try:
+                self._res_pipes[w].close()
             except OSError:  # pragma: no cover
                 pass
         if lost:

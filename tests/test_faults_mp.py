@@ -8,7 +8,10 @@ the master carries a poll deadline).
 
 from __future__ import annotations
 
+import os
+import signal
 import time
+from multiprocessing import connection as mp_connection
 
 import numpy as np
 import pytest
@@ -16,6 +19,7 @@ import pytest
 from repro.core.checkpoint import CheckpointError, load_state_checkpoint
 from repro.dist.mp import MultiprocessAMMSBSampler
 from repro.faults import FaultPlan, WorkerCrash, WorkerStall, chaos_plan
+from repro.graph.split import HeldoutSplit
 
 FAST = dict(heartbeat_timeout=15.0, poll_interval=0.02, shutdown_timeout=2.0)
 
@@ -102,6 +106,61 @@ class TestCrashRecovery:
             s.run(3)
             assert s.active_workers == (0, 1)
             assert s.recoveries == []
+
+
+class TestPipeDiscipline:
+    def test_sigkilled_worker_result_pipe_reaches_eof(self, split, config):
+        """Regression: forked workers used to inherit (and keep open)
+        the master's and every sibling's copies of all pipe ends, so a
+        SIGKILLed worker's result pipe never delivered EOF — a worker
+        killed mid-send left a partial pickle that blocked the master
+        in recv() forever. With per-end hygiene the kill surfaces as
+        EOF within bounded time, and recovery heals it normally."""
+        s = MultiprocessAMMSBSampler(split.train, config, n_workers=2, **FAST)
+        try:
+            victim = s._procs[0]
+            os.kill(victim.pid, signal.SIGKILL)
+            victim.join(timeout=5.0)
+            assert victim.exitcode is not None
+            ready = mp_connection.wait([s._res_pipes[0]], timeout=5.0)
+            assert ready, "dead worker's result pipe never reached EOF"
+            with pytest.raises((EOFError, OSError)):
+                s._res_pipes[0].recv()
+            s.step()  # the loss still heals through the normal path
+            assert s.active_workers == (1,)
+            assert len(s.recoveries) == 1
+        finally:
+            s.close()
+
+    def test_perplexity_after_shrink_does_not_deadlock(self, split, config):
+        """Regression: after recovery shrinks the active set, the master
+        ships several held-out parts back-to-back to the same survivor.
+        With plain blocking sends the master wedged writing the second
+        command (pipe full, worker busy) while the worker wedged writing
+        its >64KB probs result for the first (the master, not yet in
+        _collect, never drained it) — a deadlock outside the heartbeat's
+        reach. Parts here are sized so both the command and the result
+        overflow the 64KB pipe buffer."""
+        rng = np.random.default_rng(7)
+        n = split.train.n_vertices
+        a = rng.integers(0, n, size=40000)
+        b = rng.integers(0, n, size=40000)
+        keep = a != b
+        pairs = np.column_stack([a[keep], b[keep]]).astype(np.int64)
+        labels = rng.random(len(pairs)) < 0.1
+        heldout = HeldoutSplit(split.train, pairs, labels)
+        plan = FaultPlan(seed=9, worker_crashes=(WorkerCrash(worker=1, iteration=1),))
+        with MultiprocessAMMSBSampler(
+            split.train, config, n_workers=2, heldout=heldout, faults=plan, **FAST
+        ) as s:
+            s.run(2)
+            assert s.active_workers == (0,)
+            # Both ~20k-pair parts (≈320KB command, ≈160KB result) now
+            # go to worker 0 back-to-back.
+            for part_pairs, _ in s._heldout_parts:
+                assert part_pairs.nbytes > 65536
+            perp = s.evaluate_perplexity()
+            assert np.isfinite(perp) and perp > 1.0
 
 
 class TestPromptClose:
