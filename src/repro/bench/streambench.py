@@ -1,0 +1,299 @@
+"""Closed-loop streaming bench: warm-start vs cold-retrain, end to end.
+
+``run_stream_bench`` replays one synthetic arrival stream through the
+whole ``repro.stream`` loop and prices the claim the tier exists to
+make — *a warm-started generation reaches cold-retrain quality in a
+fraction of the wall-clock*:
+
+1. build a planted graph, split one held-out set, and cut the arrival
+   stream so the warm base holds ~90% of the vertices;
+2. **cold** — train the full graph from scratch for the full budget;
+3. **warm** — cold-start the base graph (generation 0), then ingest the
+   delta and run ONE warm-start generation on a fraction of the budget,
+   publishing a serving artifact that a live :class:`~repro.serve
+   .server.ModelServer` hot-swaps; the clock from first ingest to the
+   first answered query about a *newly arrived* node is the
+   arrival-to-servable latency.
+
+Both sides are scored on the SAME held-out split, so the perplexity
+ratio is apples-to-apples. Schema v1 (``repro-stream-bench/1``).
+``compare_reports`` implements ``repro bench-check --suite stream``:
+ratios only (warm-vs-cold speedup, warm/cold perplexity), never absolute
+seconds, so the committed ``BENCH_stream.json`` checks cleanly across
+machines.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from tempfile import TemporaryDirectory
+from typing import Any, Optional
+
+import numpy as np
+
+SCHEMA = "repro-stream-bench/1"
+
+#: ratios gated by ``repro bench-check --suite stream``. Speedups regress
+#: when they DROP, fractions when they RISE.
+TRACKED_SPEEDUPS = ("warm_vs_cold_speedup",)
+TRACKED_FRACTIONS = ("warm_perplexity_ratio",)
+
+
+@dataclass(frozen=True)
+class StreamWorkload:
+    """Synthetic stream sizing for the bench."""
+
+    n_vertices: int
+    n_communities: int
+    cold_iterations: int
+    warm_iterations: int
+    base_fraction: float = 0.9
+
+    @classmethod
+    def full(cls) -> "StreamWorkload":
+        return cls(
+            n_vertices=600, n_communities=6, cold_iterations=600,
+            warm_iterations=220,
+        )
+
+    @classmethod
+    def quick(cls) -> "StreamWorkload":
+        return cls(
+            n_vertices=220, n_communities=4, cold_iterations=240,
+            warm_iterations=90,
+        )
+
+
+def run_stream_bench(
+    quick: bool = False,
+    seed: int = 0,
+    workload: Optional[StreamWorkload] = None,
+) -> dict[str, Any]:
+    """Run the closed-loop stream bench; returns the JSON-ready report."""
+    from repro.config import AMMSBConfig
+    from repro.core.perplexity import PerplexityEstimator
+    from repro.core.sampler import AMMSBSampler
+    from repro.graph.generators import planted_overlapping_graph
+    from repro.graph.split import split_heldout
+    from repro.serve.artifact import load_artifact
+    from repro.serve.server import ModelServer
+    from repro.stream.source import SyntheticArrivalSource, arrivals_to_arrays
+    from repro.stream.trainer import StreamTrainer
+
+    w = workload or (StreamWorkload.quick() if quick else StreamWorkload.full())
+    # Warm the lazy scipy.optimize import (first Hungarian alignment):
+    # a one-time interpreter cost, not part of any generation's latency.
+    from repro.core.estimation import align_communities
+
+    align_communities(np.eye(2), np.eye(2))
+    rng = np.random.default_rng(seed)
+    graph, _ = planted_overlapping_graph(w.n_vertices, w.n_communities, rng=rng)
+    split = split_heldout(
+        graph, 0.05, rng=np.random.default_rng(seed + 1), max_links=2000
+    )
+    config = AMMSBConfig(n_communities=w.n_communities, seed=seed + 2)
+    estimator = PerplexityEstimator(
+        split.heldout_pairs, split.heldout_labels, config.delta
+    )
+
+    # The stream is cut on the *training* graph (held-out links never
+    # arrive), so warm and cold train on identical edges.
+    source = SyntheticArrivalSource(
+        split.train, base_fraction=w.base_fraction, seed=seed + 3
+    )
+    base = source.base_graph()
+    arrivals = source.arrivals()
+
+    report: dict[str, Any] = {
+        "schema": SCHEMA,
+        "quick": bool(quick),
+        "seed": int(seed),
+        "workload": {
+            "n_vertices": w.n_vertices,
+            "n_communities": w.n_communities,
+            "cold_iterations": w.cold_iterations,
+            "warm_iterations": w.warm_iterations,
+            "base_fraction": w.base_fraction,
+            "n_base_vertices": base.n_vertices,
+            "n_base_edges": base.n_edges,
+            "n_arrivals": len(arrivals),
+        },
+    }
+
+    # -- cold retrain: the full training graph, full budget, from scratch.
+    t0 = time.perf_counter()
+    cold = AMMSBSampler(split.train, config, heldout=split)
+    cold.run(w.cold_iterations)
+    cold_s = time.perf_counter() - t0
+    cold_perp = estimator.single_sample_value(cold.state.pi, cold.state.beta)
+
+    # -- streaming: generation 0 on the base, one warm generation after
+    # the delta, publishing into a live server.
+    with TemporaryDirectory(prefix="repro-streambench-") as tmp:
+        tmp = Path(tmp)
+        publish_path = tmp / "artifact.npz"
+        trainer = StreamTrainer(
+            base,
+            config,
+            tmp / "work",
+            publish_path=publish_path,
+            heldout_fraction=0.05,
+        )
+        gen0 = trainer.run_generation(n_iterations=w.cold_iterations)
+        server = ModelServer(
+            load_artifact(publish_path), n_workers=0, drift_window=4
+        )
+        try:
+            swap_s: list[float] = []
+            trainer.publish_callback = lambda p, g: swap_s.append(
+                _timed(server.publish_path, p)
+            )
+
+            # arrival-to-servable clock starts at first ingest...
+            t_arrive = time.perf_counter()
+            pairs, ts = arrivals_to_arrays(arrivals)
+            ingest_report = trainer.overlay.ingest_pairs(pairs, timestamps=ts)
+            ingest_s = time.perf_counter() - t_arrive
+
+            t1 = time.perf_counter()
+            gen1 = trainer.run_generation(
+                n_iterations=w.warm_iterations, heldout=split
+            )
+            warm_s = time.perf_counter() - t1
+            # ...and stops when a query about a newly arrived node answers.
+            new_node = split.train.n_vertices - 1
+            fut = server.membership(new_node)
+            server.process_once()
+            fut.result(timeout=30)
+            arrival_to_servable_s = time.perf_counter() - t_arrive
+            drift_fut = server.membership_drift(new_node)
+            server.process_once()
+            drift = drift_fut.result(timeout=30)
+        finally:
+            server.close()
+    warm_perp = gen1.perplexity
+
+    tiny = 1e-9
+    report["results"] = {
+        "ingest": {
+            "edges_accepted": ingest_report.accepted,
+            "edges_per_second": ingest_report.accepted / max(ingest_s, tiny),
+            "new_nodes": gen1.n_vertices - base.n_vertices,
+        },
+        "cold": {"train_s": cold_s, "perplexity": float(cold_perp)},
+        "warm": {
+            "train_s": warm_s,
+            "perplexity": float(warm_perp),
+            "generation0_perplexity": gen0.perplexity,
+            "hot_swap_s": swap_s[0] if swap_s else None,
+        },
+        "arrival_to_servable_s": arrival_to_servable_s,
+        "drift_generations_for_new_node": len(drift["generations"]),
+    }
+    report["speedups"] = {
+        "warm_vs_cold_speedup": cold_s / max(warm_s, tiny),
+    }
+    report["fractions"] = {
+        "warm_perplexity_ratio": float(warm_perp) / max(float(cold_perp), tiny),
+    }
+    report["acceptance"] = {
+        # The tier's reason to exist (ISSUE 9 acceptance): one warm
+        # generation lands within 2% of cold quality in under half the
+        # cold wall-clock.
+        "warm_within_2pct": report["fractions"]["warm_perplexity_ratio"] <= 1.02,
+        "warm_under_half_cold": warm_s <= 0.5 * cold_s,
+    }
+    return report
+
+
+def _timed(fn, *args) -> float:
+    t = time.perf_counter()
+    fn(*args)
+    return time.perf_counter() - t
+
+
+def report_rows(report: dict[str, Any]) -> list[str]:
+    """Human-readable table lines for the CLI."""
+    w = report["workload"]
+    r = report["results"]
+    rows = [
+        f"stream: N={w['n_vertices']} K={w['n_communities']} "
+        f"base={w['n_base_vertices']} arrivals={w['n_arrivals']} "
+        f"(quick={report['quick']})",
+        f"ingest: {r['ingest']['edges_accepted']} edges @ "
+        f"{r['ingest']['edges_per_second']:,.0f} edges/s, "
+        f"{r['ingest']['new_nodes']} new nodes",
+        f"cold:   {r['cold']['train_s']:.2f}s  perplexity {r['cold']['perplexity']:.4f}",
+        f"warm:   {r['warm']['train_s']:.2f}s  perplexity {r['warm']['perplexity']:.4f}",
+        f"arrival-to-servable: {r['arrival_to_servable_s']:.2f}s",
+    ]
+    for name, val in sorted(report["speedups"].items()):
+        rows.append(f"{name}: {val:.1f}x")
+    for name, val in sorted(report["fractions"].items()):
+        rows.append(f"{name}: {val:.4f}")
+    for name, ok in sorted(report["acceptance"].items()):
+        rows.append(f"{name}: {'PASS' if ok else 'FAIL'}")
+    return rows
+
+
+def compare_reports(
+    baseline: dict[str, Any],
+    fresh: dict[str, Any],
+    threshold: float = 0.5,
+) -> list[dict[str, Any]]:
+    """Regression rows for ``bench-check --suite stream``.
+
+    The warm-vs-cold speedup regresses when the fresh value drops below
+    ``(1 - threshold) *`` baseline; the warm/cold perplexity ratio
+    regresses when it rises above ``baseline * (1 + threshold) + 0.05``
+    (additive slack for near-1.0 baselines). Thresholds are loose like
+    the mem gate's: wall-clock folds in machine speed and SG-MCMC noise.
+    """
+    rows: list[dict[str, Any]] = []
+    for name in TRACKED_SPEEDUPS:
+        base = baseline.get("speedups", {}).get(name)
+        now = fresh.get("speedups", {}).get(name)
+        if base is None or now is None:
+            continue
+        ratio = now / base if base else float("inf")
+        rows.append(
+            {
+                "metric": f"speedups/{name}",
+                "baseline": base,
+                "fresh": now,
+                "ratio": ratio,
+                "regressed": ratio < 1.0 - threshold,
+            }
+        )
+    for name in TRACKED_FRACTIONS:
+        base = baseline.get("fractions", {}).get(name)
+        now = fresh.get("fractions", {}).get(name)
+        if base is None or now is None:
+            continue
+        limit = base * (1.0 + threshold) + 0.05
+        rows.append(
+            {
+                "metric": f"fractions/{name}",
+                "baseline": base,
+                "fresh": now,
+                "ratio": now / base if base else float("inf"),
+                "regressed": now > limit,
+            }
+        )
+    return rows
+
+
+def save_report(report: dict[str, Any], path: str | Path) -> None:
+    Path(path).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+
+def load_report(path: str | Path) -> dict[str, Any]:
+    report = json.loads(Path(path).read_text())
+    if report.get("schema") != SCHEMA:
+        raise ValueError(
+            f"{path}: expected schema {SCHEMA!r}, got {report.get('schema')!r}"
+        )
+    return report

@@ -9,9 +9,9 @@ Subcommands:
 - ``repro benchmark`` — regenerate a paper figure/table on stdout;
 - ``repro bench-kernels`` — time the kernel backends (reference, fused,
   numba when installed) and write machine-readable ``BENCH_kernels.json``;
-- ``repro bench-check`` — rerun a bench suite (``kernels``, ``mem``, or
-  ``serve``) and compare against its checked-in baseline JSON, failing
-  on ratio regressions;
+- ``repro bench-check`` — rerun a bench suite (``kernels``, ``mem``,
+  ``serve``, or ``stream``) and compare against its checked-in baseline
+  JSON, failing on ratio regressions;
 - ``repro bench-mem`` — measure graph-load time and peak RSS per storage
   format (edge list, NPZ, resident CSR, mapped CSR) and write
   ``BENCH_mem.json``;
@@ -31,6 +31,12 @@ Subcommands:
   a line protocol on stdin;
 - ``repro bench-serve`` — run the serving load generator (Zipf traffic +
   mid-run hot-swap) and write ``BENCH_serve.json``;
+- ``repro stream`` — replay a timestamped edge-arrival file through the
+  streaming tier: ingest deltas, warm-start one training generation per
+  batch, hot-swap each published artifact into a live in-process server,
+  and answer membership-drift queries;
+- ``repro bench-stream`` — run the closed-loop streaming bench
+  (warm-start vs cold retrain) and write ``BENCH_stream.json``;
 - ``repro auc`` — held-out link-prediction AUC of a checkpoint or
   artifact.
 
@@ -202,6 +208,7 @@ _BENCH_SUITES = {
     "kernels": ("BENCH_kernels.json", 0.25),
     "mem": ("BENCH_mem.json", 0.5),
     "serve": ("BENCH_serve.json", 0.5),
+    "stream": ("BENCH_stream.json", 0.5),
 }
 
 
@@ -210,11 +217,13 @@ def _cmd_bench_check(args: argparse.Namespace) -> int:
 
     ``--suite kernels`` (default) reruns the kernel bench; ``--suite
     mem`` the storage/memory bench; ``--suite serve`` the serving load
-    generator. Exit codes: 0 = within threshold, 2 = regression, 3 =
-    baseline missing/unreadable. Every suite compares *ratios* (backend
-    speedups, CSR-vs-edge-list load speedups, v2-vs-v1 cold-start
-    speedup), so the checks hold across machines of different speed and
-    across environments with different optional backends installed.
+    generator; ``--suite stream`` the streaming warm-vs-cold loop. Exit
+    codes: 0 = within threshold, 2 = regression, 3 = baseline
+    missing/unreadable. Every suite compares *ratios* (backend speedups,
+    CSR-vs-edge-list load speedups, v2-vs-v1 cold-start speedup,
+    warm-vs-cold retrain speedup), so the checks hold across machines of
+    different speed and across environments with different optional
+    backends installed.
     """
     from repro.bench.harness import format_table
 
@@ -228,11 +237,16 @@ def _cmd_bench_check(args: argparse.Namespace) -> int:
 
         def run_fresh():
             return bench.run_mem_bench(quick=args.quick, seed=args.seed)
-    else:
+    elif args.suite == "serve":
         from repro.bench import servebench as bench
 
         def run_fresh():
             return bench.run_serve_bench(quick=args.quick, seed=args.seed)
+    else:
+        from repro.bench import streambench as bench
+
+        def run_fresh():
+            return bench.run_stream_bench(quick=args.quick, seed=args.seed)
 
     default_baseline, default_threshold = _BENCH_SUITES[args.suite]
     baseline_path = args.baseline or default_baseline
@@ -273,6 +287,120 @@ def _cmd_bench_mem(args: argparse.Namespace) -> int:
         print(f"FAIL: acceptance bar(s) not met: {failed}", file=sys.stderr)
         return 2
     print("ok: storage acceptance bars met", file=sys.stderr)
+    return 0
+
+
+def _cmd_bench_stream(args: argparse.Namespace) -> int:
+    """Run the streaming bench; exit 2 if an acceptance bar fails."""
+    from repro.bench import streambench
+
+    report = streambench.run_stream_bench(quick=args.quick, seed=args.seed)
+    for line in streambench.report_rows(report):
+        print(line)
+    if args.output:
+        streambench.save_report(report, args.output)
+        print(f"wrote {args.output}", file=sys.stderr)
+    failed = [k for k, ok in report["acceptance"].items() if not ok]
+    if failed:
+        print(f"FAIL: acceptance bar(s) not met: {failed}", file=sys.stderr)
+        return 2
+    print("ok: streaming acceptance bars met", file=sys.stderr)
+    return 0
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
+    """Replay a timestamped edge file through the streaming loop.
+
+    The earliest ``--base-fraction`` of arrivals becomes the base graph;
+    generation 0 cold-starts on it. The remaining arrivals are split into
+    ``--generations`` batches, each ingested and warm-start retrained for
+    ``--iterations`` SG-MCMC steps, publishing a serving artifact that a
+    live in-process :class:`~repro.serve.server.ModelServer` hot-swaps.
+    ``--drift`` nodes get their cross-generation ``membership_drift``
+    answer (aligned community labels) printed as JSON at the end.
+    """
+    import json
+
+    from repro.config import AMMSBConfig
+    from repro.graph.graph import Graph
+    from repro.serve.artifact import load_artifact
+    from repro.serve.server import ModelServer
+    from repro.stream import FileTailSource, StreamTrainer
+
+    source = FileTailSource(args.edges, strict=False)
+    arrivals = source.read_all()
+    if source.n_malformed:
+        print(f"skipped {source.n_malformed} malformed line(s)", file=sys.stderr)
+    if len(arrivals) < 2:
+        print(f"{args.edges}: need at least 2 arrivals to replay",
+              file=sys.stderr)
+        return 2
+    arrivals.sort(key=lambda a: a.timestamp)
+
+    n_base = max(1, min(len(arrivals) - 1,
+                        int(len(arrivals) * args.base_fraction)))
+    base_pairs = np.array(
+        [(a.src, a.dst) for a in arrivals[:n_base]], dtype=np.int64
+    )
+    lo = np.minimum(base_pairs[:, 0], base_pairs[:, 1])
+    hi = np.maximum(base_pairs[:, 0], base_pairs[:, 1])
+    keep = (lo != hi) & (lo >= 0)
+    if not keep.any():
+        print("base prefix has no usable edges (self-loops / bad ids only)",
+              file=sys.stderr)
+        return 2
+    edges = np.unique(np.stack([lo[keep], hi[keep]], axis=1), axis=0)
+    base = Graph(int(edges[:, 1].max()) + 1, edges)
+
+    config = AMMSBConfig(n_communities=args.communities, seed=args.seed)
+    workdir = Path(args.workdir)
+    publish_path = (
+        Path(args.artifact) if args.artifact else workdir / "artifact.npz"
+    )
+    trainer = StreamTrainer(
+        base,
+        config,
+        workdir,
+        iterations_per_generation=args.iterations,
+        publish_path=publish_path,
+        engine="mp" if args.workers > 0 else "sequential",
+        n_workers=args.workers,
+    )
+    print(f"base {base}; {len(arrivals) - n_base} arrivals in "
+          f"{args.generations} generation batch(es)", file=sys.stderr)
+
+    def _report(rep) -> None:
+        extra = ("" if rep.published
+                 else f"  (publish skipped: {rep.publish_error})")
+        ing = rep.ingest
+        print(f"generation {rep.generation}: N={rep.n_vertices} "
+              f"E={rep.n_edges} (+{rep.n_new_nodes} nodes, "
+              f"+{ing.accepted} edges, {ing.duplicates} dup, "
+              f"{ing.quarantined} quarantined) "
+              f"perplexity {rep.perplexity:.4f} "
+              f"in {rep.train_seconds:.2f}s{extra}")
+
+    _report(trainer.run_generation())
+    server = ModelServer(
+        load_artifact(publish_path), n_workers=0,
+        drift_window=args.drift_window,
+    )
+    try:
+        trainer.publish_callback = lambda path, gen: server.publish_path(path)
+        rest = arrivals[n_base:]
+        for chunk in np.array_split(np.arange(len(rest)), args.generations):
+            _report(trainer.run_generation([rest[i] for i in chunk]))
+        for node in args.drift:
+            fut = server.membership_drift(int(node))
+            server.process_once()
+            try:
+                print(json.dumps(fut.result(timeout=30), sort_keys=True))
+            except KeyError as exc:
+                print(f"drift {node}: {exc}", file=sys.stderr)
+    finally:
+        server.close()
+    print(f"final artifact: {trainer.last_published} "
+          f"(checkpoints + CSR containers under {workdir})", file=sys.stderr)
     return 0
 
 
@@ -451,13 +579,20 @@ def _serve_dispatch(server, line: str) -> str:
             "recommend_edges", rest[0], rest[1] if len(rest) > 1 else 10
         )
         return "\n".join(f"{n} {s:.6g}" for n, s in ranked)
+    if cmd == "drift":
+        if len(rest) not in (1, 2):
+            raise ValueError("usage: drift NODE [LAST]")
+        drift = server.query(
+            "membership_drift", rest[0], rest[1] if len(rest) > 1 else None
+        )
+        return json.dumps(drift, indent=2, sort_keys=True)
     if cmd == "stats":
         return json.dumps(server.stats(), indent=2, sort_keys=True)
     if cmd == "health":
         return json.dumps(server.health(), indent=2, sort_keys=True)
     raise ValueError(
         f"unknown command {cmd!r}; known: link membership community "
-        f"recommend stats health quit"
+        f"recommend drift stats health quit"
     )
 
 
@@ -465,8 +600,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     """Serve an artifact over a stdin/stdout line protocol.
 
     Protocol: ``link A B [A B ...]`` | ``membership NODE [K]`` |
-    ``community K [N]`` | ``recommend NODE [N]`` | ``stats`` | ``quit``.
-    Errors are reported per line; the server keeps running.
+    ``community K [N]`` | ``recommend NODE [N]`` | ``drift NODE [LAST]``
+    | ``stats`` | ``quit``. Errors are reported per line; the server
+    keeps running. ``drift`` needs ``--drift-window`` > 0.
     """
     from repro.serve.artifact import ArtifactError, load_artifact
     from repro.serve.server import ModelServer, ShedPolicy
@@ -488,6 +624,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_delay_ms=args.max_delay_ms,
         default_deadline_ms=args.deadline_ms,
         shed_policy=shed_policy,
+        drift_window=args.drift_window,
     ) as server:
         print(
             f"serving {artifact.n_nodes} nodes x {artifact.n_communities} "
@@ -660,7 +797,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "BENCH_*.json)")
     p.add_argument("--threshold", type=float, default=None,
                    help="max tolerated relative ratio drop (default: 0.25 "
-                        "for kernels, 0.5 for mem/serve)")
+                        "for kernels, 0.5 for mem/serve/stream)")
     p.add_argument("--quick", action="store_true",
                    help="smaller workloads / fewer repeats (for CI)")
     p.add_argument("--seed", type=int, default=0)
@@ -711,6 +848,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--slo-p99-ms", type=float, default=None,
                    help="enable SLO load shedding at this p99 target "
                         "(default: shedding off)")
+    p.add_argument("--drift-window", type=int, default=0,
+                   help="retain this many generations of membership "
+                        "history for 'drift' queries (default: off)")
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("bench-serve", help="run the serving load-generator bench")
@@ -720,6 +860,41 @@ def build_parser() -> argparse.ArgumentParser:
                    help="smaller workload (for CI)")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_bench_serve)
+
+    p = sub.add_parser("stream",
+                       help="replay a timestamped edge file through the "
+                            "streaming train-to-serve loop")
+    p.add_argument("--edges", required=True,
+                   help="arrival file: 'src dst' or 'ts src dst' lines")
+    p.add_argument("--communities", "-k", type=int, required=True)
+    p.add_argument("--iterations", type=int, default=200,
+                   help="training budget per generation (default 200)")
+    p.add_argument("--generations", type=int, default=2,
+                   help="batches the post-base arrivals split into")
+    p.add_argument("--base-fraction", type=float, default=0.9,
+                   help="arrival prefix forming the warm-start base graph")
+    p.add_argument("--workdir", default="stream-work",
+                   help="per-generation CSR containers + checkpoints")
+    p.add_argument("--artifact", default=None,
+                   help="published artifact path "
+                        "(default: WORKDIR/artifact.npz)")
+    p.add_argument("--workers", type=int, default=0,
+                   help="mp-engine worker count (0 = in-process sequential)")
+    p.add_argument("--drift-window", type=int, default=8,
+                   help="generations of membership history retained")
+    p.add_argument("--drift", nargs="*", type=int, default=[],
+                   help="nodes to print membership_drift JSON for at the end")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_stream)
+
+    p = sub.add_parser("bench-stream",
+                       help="run the streaming warm-vs-cold bench")
+    p.add_argument("--output", "-o", default=None,
+                   help="write the machine-readable report JSON here")
+    p.add_argument("--quick", action="store_true",
+                   help="smaller workload (for CI)")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_bench_stream)
 
     p = sub.add_parser("auc", help="held-out link-prediction AUC")
     p.add_argument("--edges", required=True, help="edge-list file (SNAP format)")

@@ -24,6 +24,14 @@ def align_communities(
     averaging of pi samples smear communities together. This resolves it
     with the Hungarian algorithm on column correlations.
 
+    Ties (e.g. duplicated or empty columns) are broken deterministically:
+    a tiny lexicographic penalty makes the optimum unique, preferring the
+    lowest pi column index for the lowest reference index, so repeated
+    runs — and different scipy versions — always return the same
+    permutation. Exactly identical columns therefore map in stable
+    community-index order (identity when ``pi is reference``-shaped
+    copies), which generation-to-generation stream tracking relies on.
+
     Returns:
         ``(aligned_pi, permutation)`` where ``aligned_pi[:, j] =
         pi[:, permutation[j]]``.
@@ -33,7 +41,17 @@ def align_communities(
     if pi.shape != reference.shape:
         raise ValueError(f"shape mismatch: {pi.shape} vs {reference.shape}")
     # Cost = negative overlap between columns.
-    cost = -(reference.T @ pi)  # (K, K)
+    cost = -(np.asarray(reference, dtype=np.float64).T @ pi)  # (K, K)
+    k = cost.shape[0]
+    # Deterministic tie-break: subtract a tiny multiple of i*j (reference
+    # index times pi index). Among equal-cost assignments this rewards
+    # pairing low indices with low indices — by the rearrangement
+    # inequality the in-order pairing is the strict, unique optimum of
+    # the secondary objective (a linear term like i*k + j would sum to
+    # the same total under every permutation and break nothing).
+    scale = max(1.0, float(np.abs(cost).max()))
+    tie = np.arange(k, dtype=np.float64)
+    cost = cost - (scale * 1e-9 / (k * k + 1.0)) * (tie[:, None] * tie[None, :])
     _, cols = linear_sum_assignment(cost)
     return pi[:, cols], cols
 

@@ -21,6 +21,13 @@ distributed layer consumes:
   detected by the master's heartbeat and healed by re-partitioning the
   dead worker's shard across survivors.
 
+The streaming tier has its own fault domain too (:class:`StreamFaultPlan`):
+malformed and out-of-order edge arrivals mangled into the stream before
+ingestion, and mid-generation publish failures. The consumers
+(:class:`repro.stream.trainer.StreamTrainer`,
+:class:`repro.stream.delta.DeltaOverlay`) quarantine bad records and keep
+the last-known-good artifact serving — see DESIGN.md §11.
+
 The serving tier has its own fault domain (:class:`ServeFaultPlan`):
 artifact corruption/truncation on disk, worker-*thread* crashes and
 stalls inside :class:`~repro.serve.server.ModelServer`, engine latency
@@ -571,6 +578,140 @@ class ServeFaultPlan:
                 f"spikes {self.spike_rate:g}x{self.spike_seconds * 1e3:g}ms"
             )
         return "ServeFaultPlan(" + ", ".join(parts) + ")"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return self.describe()
+
+
+# -- streaming-tier fault domain ---------------------------------------------
+
+#: arrival corruption modes StreamFaultPlan.mangle_arrivals cycles through.
+ARRIVAL_FAULT_MODES = ("self-loop", "negative-id", "id-overflow")
+
+
+@dataclass(frozen=True)
+class PublishFailure:
+    """The trainer's publish for ``generation`` fails mid-generation.
+
+    The generation still trains and checkpoints; only the artifact
+    rewrite is suppressed, so the serving tier keeps answering from the
+    last successfully published generation.
+    """
+
+    generation: int
+
+    def __post_init__(self) -> None:
+        if self.generation < 0:
+            raise ValueError("generation must be >= 0")
+
+
+class StreamFaultPlan:
+    """A seeded, deterministic schedule of streaming-tier faults.
+
+    Consumed by :class:`repro.stream.trainer.StreamTrainer`, which runs
+    every arrival batch through :meth:`mangle_arrivals` before ingestion
+    and consults :meth:`publish_fails` before publishing. Mirrors the
+    other plans: private RNG stream, an empty plan is a guaranteed no-op,
+    and a fixed plan mangles a fixed stream identically.
+
+    The mangler is duck-typed over arrival records — any frozen
+    dataclass with ``(timestamp, src, dst)`` fields (i.e.
+    :class:`repro.stream.source.EdgeArrival`) works — so this module
+    never imports :mod:`repro.stream`.
+
+    Args:
+        seed: seed of the plan's private RNG stream.
+        malformed_rate: i.i.d. probability that an arrival is corrupted
+            into a malformed record (mode cycled deterministically
+            through ``ARRIVAL_FAULT_MODES``).
+        out_of_order_rate: i.i.d. probability that an arrival's timestamp
+            is pushed far into the past.
+        publish_failures: generations whose publish is suppressed.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        malformed_rate: float = 0.0,
+        out_of_order_rate: float = 0.0,
+        publish_failures: Iterable[PublishFailure] = (),
+    ) -> None:
+        if not 0.0 <= malformed_rate < 1.0:
+            raise ValueError("malformed_rate must be in [0, 1)")
+        if not 0.0 <= out_of_order_rate < 1.0:
+            raise ValueError("out_of_order_rate must be in [0, 1)")
+        self.seed = int(seed)
+        self.malformed_rate = float(malformed_rate)
+        self.out_of_order_rate = float(out_of_order_rate)
+        self.publish_failures = tuple(publish_failures)
+        self._rng = np.random.default_rng(self.seed + 0x57E4)
+        self.mangle_draws = 0
+
+    @property
+    def empty(self) -> bool:
+        """True when nothing is scheduled — consumers must bypass every
+        fault path, keeping streaming bit-identical to a plain build."""
+        return not (
+            self.malformed_rate > 0.0
+            or self.out_of_order_rate > 0.0
+            or self.publish_failures
+        )
+
+    # -- arrival mangling ----------------------------------------------------
+
+    def mangle_arrivals(self, arrivals: Sequence) -> list:
+        """Return ``arrivals`` with scheduled corruption applied.
+
+        Each record independently draws malformed-then-out-of-order from
+        the plan's private stream (two draws per record, so the fault
+        sequence is independent of which faults are enabled). Corruption
+        rebuilds records via :func:`dataclasses.replace`; the originals
+        are never mutated.
+        """
+        import dataclasses
+
+        if self.empty or not arrivals:
+            return list(arrivals)
+        out = []
+        n_mangled = 0
+        for a in arrivals:
+            self.mangle_draws += 2
+            bad = self._rng.random() < self.malformed_rate
+            late = self._rng.random() < self.out_of_order_rate
+            if bad:
+                mode = ARRIVAL_FAULT_MODES[n_mangled % len(ARRIVAL_FAULT_MODES)]
+                n_mangled += 1
+                if mode == "self-loop":
+                    a = dataclasses.replace(a, dst=a.src)
+                elif mode == "negative-id":
+                    a = dataclasses.replace(a, src=-1)
+                else:  # id-overflow
+                    a = dataclasses.replace(a, dst=(1 << 31) + 7)
+            elif late:
+                a = dataclasses.replace(a, timestamp=a.timestamp - 1e6)
+            out.append(a)
+        return out
+
+    # -- publish suppression -------------------------------------------------
+
+    def publish_fails(self, generation: int) -> bool:
+        """Is the publish for ``generation`` scheduled to fail?"""
+        return any(f.generation == generation for f in self.publish_failures)
+
+    # -- display ------------------------------------------------------------
+
+    def describe(self) -> str:
+        if self.empty:
+            return "StreamFaultPlan(empty)"
+        parts = [f"seed={self.seed}"]
+        if self.malformed_rate:
+            parts.append(f"malformed_rate={self.malformed_rate:g}")
+        if self.out_of_order_rate:
+            parts.append(f"out_of_order_rate={self.out_of_order_rate:g}")
+        if self.publish_failures:
+            gens = ",".join(str(f.generation) for f in self.publish_failures)
+            parts.append(f"publish failure(s) @ gen {gens}")
+        return "StreamFaultPlan(" + ", ".join(parts) + ")"
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return self.describe()

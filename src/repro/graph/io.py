@@ -38,17 +38,35 @@ GRAPH_CSR_KIND = "repro-graph-csr/1"
 _CHUNK_LINES = 1 << 16
 
 
+#: per-chunk streaming dedup canonicalizes raw pairs under this fixed
+#: radix, so ids must stay below it; larger ids fall back to one final
+#: dedup pass (and would overflow Graph's own int64 keys long before).
+_DEDUP_RADIX = np.int64(1) << 32
+
+
 def load_edge_list(
-    path: PathLike, n_vertices: int | None = None, chunk_lines: int = _CHUNK_LINES
+    path: PathLike,
+    n_vertices: int | None = None,
+    chunk_lines: int = _CHUNK_LINES,
+    dedup: bool = True,
 ) -> Graph:
     """Load a SNAP-format edge list, stream-parsing in bounded chunks.
 
     Vertex ids are remapped densely (SNAP files have sparse id spaces) in
     sorted order unless ``n_vertices`` is given, in which case ids are
     taken literally and must be < n_vertices. Duplicate undirected edges
-    and self-loops are dropped (SNAP lists each undirected edge twice).
-    ``#`` comment lines and blank lines are ignored anywhere in the file.
+    (repeated *or* reversed — SNAP lists each undirected edge twice) and
+    self-loops are dropped either way; ``dedup`` only selects *when*:
 
+    - ``dedup=True`` (default): duplicates are folded away per chunk
+      against the running unique set, so peak memory tracks the number
+      of *unique* edges — the right mode for streaming sources that
+      replay dirty, repetitive data.
+    - ``dedup=False``: the legacy whole-file pass — every raw pair is
+      kept until the end and deduplicated once. Identical result, higher
+      peak memory on files with many repeats.
+
+    ``#`` comment lines and blank lines are ignored anywhere in the file.
     The file is parsed ``chunk_lines`` lines at a time through NumPy's C
     tokenizer, and self-loops are dropped per chunk, so peak parser
     memory is O(chunk) + O(edges kept) instead of the whole-text +
@@ -57,6 +75,9 @@ def load_edge_list(
     if chunk_lines <= 0:
         raise ValueError("chunk_lines must be positive")
     parts: list[np.ndarray] = []
+    kept_keys: np.ndarray | None = None  # sorted unique canonical keys so far
+    kept_pairs: np.ndarray | None = None  # matching (lo, hi) rows
+    streaming = bool(dedup)
     n_cols: int | None = None
     with open(path, "r", encoding="utf-8") as fh:
         while True:
@@ -74,10 +95,46 @@ def load_edge_list(
                     raise ValueError(f"expected 2 columns, got {n_cols}")
             elif arr.shape[1] != n_cols:
                 raise ValueError(f"inconsistent column count: {arr.shape[1]} != {n_cols}")
-            parts.append(arr[arr[:, 0] != arr[:, 1]])
-    if not parts:
+            arr = arr[arr[:, 0] != arr[:, 1]]
+            if streaming and arr.size and int(arr.max()) >= int(_DEDUP_RADIX >> 1):
+                # Ids too large for the fixed-radix keys: migrate to the
+                # accumulate-then-dedup path (same result).
+                streaming = False
+                if kept_pairs is not None:
+                    parts.append(kept_pairs)
+                    kept_keys = kept_pairs = None
+            if not streaming:
+                parts.append(arr)
+                continue
+            if arr.size == 0:
+                continue
+            lo = np.minimum(arr[:, 0], arr[:, 1])
+            hi = np.maximum(arr[:, 0], arr[:, 1])
+            keys = lo * _DEDUP_RADIX + hi
+            keys, idx = np.unique(keys, return_index=True)
+            pairs = np.column_stack([lo, hi])[idx]
+            if kept_keys is not None and kept_keys.size:
+                fresh = (
+                    np.searchsorted(kept_keys, keys)
+                    >= kept_keys.size
+                ) | (
+                    kept_keys[np.minimum(np.searchsorted(kept_keys, keys),
+                                         kept_keys.size - 1)]
+                    != keys
+                )
+                keys, pairs = keys[fresh], pairs[fresh]
+                merged = np.concatenate([kept_keys, keys])
+                order = np.argsort(merged, kind="stable")
+                kept_keys = merged[order]
+                kept_pairs = np.concatenate([kept_pairs, pairs])[order]
+            else:
+                kept_keys, kept_pairs = keys, pairs
+    if kept_pairs is not None:
+        raw = kept_pairs
+    elif parts:
+        raw = np.concatenate(parts) if len(parts) > 1 else parts[0]
+    else:
         raise ValueError(f"no edges in {path}")
-    raw = np.concatenate(parts) if len(parts) > 1 else parts[0]
     if raw.size == 0:
         raise ValueError(f"no edges in {path}")
     if n_vertices is None:

@@ -108,6 +108,21 @@ class QueryEngine:
             idx, w = order, art.pi[row, order]
         return [(int(c), float(v)) for c, v in zip(idx, w)]
 
+    # -- temporal drift --------------------------------------------------------
+
+    def membership_drift(self, node: int, history, last: int | None = None) -> dict:
+        """How ``node``'s aligned communities changed over recent generations.
+
+        ``history`` is the server-owned
+        :class:`repro.stream.tracking.MembershipHistory` ring (retained
+        across artifact hot-swaps — it is *not* part of the artifact, so
+        the server threads it in per call).
+        """
+        self._fault_delay()
+        if history is None:
+            raise ValueError("no membership history: server started without drift tracking")
+        return history.drift(node, last=last)
+
     # -- link scoring ---------------------------------------------------------
 
     def link_probability(self, pairs: np.ndarray) -> np.ndarray:

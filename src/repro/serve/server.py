@@ -89,7 +89,13 @@ from repro.serve.artifact import (
 from repro.serve.engine import QueryEngine
 from repro.serve.metrics import ServerMetrics
 
-ENDPOINTS = ("link_probability", "membership", "community_members", "recommend_edges")
+ENDPOINTS = (
+    "link_probability",
+    "membership",
+    "community_members",
+    "recommend_edges",
+    "membership_drift",
+)
 
 
 class ServerOverloaded(RuntimeError):
@@ -212,6 +218,11 @@ class ModelServer:
         stall_timeout_s: watchdog fences a worker holding one batch
             longer than this.
         watchdog_interval_s: watchdog poll period.
+        drift_window: generations of aligned membership history retained
+            for the ``membership_drift`` endpoint (0 disables it). The
+            history (:class:`repro.stream.tracking.MembershipHistory`)
+            survives hot-swaps: each successful publish is aligned and
+            recorded, so drift answers span artifact generations.
     """
 
     def __init__(
@@ -227,6 +238,7 @@ class ModelServer:
         faults: Optional[ServeFaultPlan] = None,
         stall_timeout_s: float = 5.0,
         watchdog_interval_s: float = 0.25,
+        drift_window: int = 0,
     ) -> None:
         if n_workers < 0 or max_batch < 1 or queue_limit < 1 or cache_size < 0:
             raise ValueError("invalid server sizing parameter")
@@ -257,6 +269,14 @@ class ModelServer:
         self._publishes = 0  # accepted publish() calls (swap-fault index)
         self._registry = ArtifactRegistry()
         self._registry.record(0, artifact)
+        self._history = None
+        if drift_window:
+            # Lazy import: serve must stay importable without the
+            # streaming tier (and vice versa — stream imports serve).
+            from repro.stream.tracking import MembershipHistory
+
+            self._history = MembershipHistory(window=int(drift_window))
+            self._history.record(artifact, 0)
         self._stopped = False
         self.n_workers = int(n_workers)
         self.metrics = ServerMetrics(
@@ -370,6 +390,10 @@ class ModelServer:
                 rollback_to = good
             else:
                 self._registry.record(gen, artifact)
+                if self._history is not None:
+                    # Recorded under the lock so history generations stay
+                    # strictly increasing across concurrent publishers.
+                    self._history.record(artifact, gen)
             purged = self._purge_stale_cache_locked()
         if purged:
             self.metrics.record_stale_eviction(purged)
@@ -512,6 +536,23 @@ class ModelServer:
             "recommend_edges",
             (int(node), int(top_n)),
             ("re", int(node), int(top_n)),
+            deadline_ms=deadline_ms,
+        )
+
+    def membership_drift(
+        self,
+        node: int,
+        last: Optional[int] = None,
+        deadline_ms: Optional[float] = None,
+    ) -> Future:
+        if self._history is None:
+            raise ValueError(
+                "membership_drift requires drift_window > 0 at server construction"
+            )
+        return self._submit(
+            "membership_drift",
+            (int(node), last),
+            ("md", int(node), last),
             deadline_ms=deadline_ms,
         )
 
@@ -839,6 +880,9 @@ class ModelServer:
                     result = engine.membership(node, k)
                 elif r.endpoint == "community_members":
                     result = engine.community_members(*r.payload)
+                elif r.endpoint == "membership_drift":
+                    node, last = r.payload
+                    result = engine.membership_drift(node, self._history, last)
                 else:  # pragma: no cover - submit() filters endpoints
                     raise RuntimeError(f"unknown endpoint {r.endpoint!r}")
                 self._finish(r, result)

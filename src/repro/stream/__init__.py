@@ -1,0 +1,44 @@
+"""Streaming tier: edge ingestion, warm-start retraining, drift tracking.
+
+Closes the loop from edge arrival to served answer (DESIGN.md §11):
+:mod:`~repro.stream.source` replays arrivals, :mod:`~repro.stream.delta`
+buffers them over the immutable CSR base and compacts, :mod:`~repro
+.stream.trainer` warm-starts a generation of SG-MCMC and publishes a
+serving artifact, and :mod:`~repro.stream.tracking` aligns community
+labels across generations so the serving tier can answer
+``membership_drift`` queries.
+"""
+
+from repro.stream.delta import (
+    DeltaOverflow,
+    DeltaOverlay,
+    IngestReport,
+    MalformedArrival,
+    StreamError,
+)
+from repro.stream.source import (
+    EdgeArrival,
+    FileTailSource,
+    SyntheticArrivalSource,
+    arrivals_to_arrays,
+    write_arrival_file,
+)
+from repro.stream.tracking import DriftEvent, MembershipHistory
+from repro.stream.trainer import GenerationReport, StreamTrainer
+
+__all__ = [
+    "DeltaOverflow",
+    "DeltaOverlay",
+    "DriftEvent",
+    "EdgeArrival",
+    "FileTailSource",
+    "GenerationReport",
+    "IngestReport",
+    "MalformedArrival",
+    "MembershipHistory",
+    "StreamError",
+    "StreamTrainer",
+    "SyntheticArrivalSource",
+    "arrivals_to_arrays",
+    "write_arrival_file",
+]

@@ -1,0 +1,321 @@
+"""Generation loop: ingest a delta, warm-start retrain, publish, repeat.
+
+:class:`StreamTrainer` is the continuous half of the train-to-serve
+loop. Each :meth:`~StreamTrainer.run_generation`:
+
+1. **ingests** the generation's arrivals into the
+   :class:`~repro.stream.delta.DeltaOverlay` (malformed records are
+   quarantined, not fatal — the stream must survive dirty input);
+2. **compacts** overlay + base into a fresh CSR container under the
+   trainer's workdir, the graph this generation trains on and later
+   consumers memory-map;
+3. **warm-starts**: the previous generation's state is grown to the new
+   vertex count by :func:`repro.core.init.extend_state_informed`
+   (neighbor-averaged rows for new nodes), and the sampler's iteration
+   counter continues from where the stream left off — so the step-size
+   schedule resumes on its annealed tail instead of re-running burn-in.
+   Generation 0 cold-starts from
+   :func:`repro.core.init.init_state_spectral` (successive projections),
+   falling back to random init on degenerate graphs;
+4. **trains** a bounded number of iterations — sequentially, or on the
+   multiprocess backend (``engine="mp"``);
+5. **checkpoints** (:func:`repro.core.checkpoint.save_state_checkpoint`)
+   and **publishes** a serving artifact: through the
+   :class:`~repro.dist.mp.MultiprocessAMMSBSampler` publish hook on the
+   mp engine, or :func:`repro.serve.artifact.export_artifact` (the same
+   machinery that hook calls) sequentially. An injected publish failure
+   (:class:`repro.faults.StreamFaultPlan`) skips the publish and records
+   the error — the previous artifact keeps serving — rather than
+   aborting the generation.
+
+The trainer never mutates a served artifact in place: the publish path
+is rewritten atomically, and a ``publish_callback`` lets a live
+:class:`~repro.serve.server.ModelServer` hot-swap it per generation.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.config import AMMSBConfig
+from repro.core.checkpoint import load_state_checkpoint, save_state_checkpoint
+from repro.core.init import extend_state_informed, init_state_spectral
+from repro.core.perplexity import PerplexityEstimator
+from repro.core.sampler import AMMSBSampler
+from repro.core.state import ModelState, init_state
+from repro.graph.graph import Graph
+from repro.graph.split import HeldoutSplit, split_heldout
+from repro.serve.artifact import export_artifact
+from repro.stream.delta import DeltaOverlay, IngestReport
+from repro.stream.source import EdgeArrival, arrivals_to_arrays
+
+PathLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class GenerationReport:
+    """What one :meth:`StreamTrainer.run_generation` call did."""
+
+    generation: int
+    n_iterations: int
+    train_seconds: float
+    perplexity: float
+    ingest: IngestReport = field(default_factory=IngestReport)
+    n_vertices: int = 0
+    n_edges: int = 0
+    n_new_nodes: int = 0
+    checkpoint_path: Optional[Path] = None
+    artifact_path: Optional[Path] = None
+    published: bool = False
+    publish_error: Optional[str] = None
+
+
+class StreamTrainer:
+    """Continuous warm-start training over an arriving edge stream.
+
+    Args:
+        base_graph: generation 0's graph (before any arrivals).
+        config: sampler configuration shared by every generation.
+        workdir: directory for per-generation CSR containers and
+            checkpoints (created if missing).
+        iterations_per_generation: default training budget per generation.
+        heldout_fraction: per-generation held-out split fraction (used
+            when no explicit split is passed to ``run_generation``).
+        heldout_max_links: cap on held-out links per split.
+        publish_path: serving artifact path rewritten each generation
+            (``None`` = train without publishing).
+        publish_callback: called as ``callback(path, generation)`` after
+            each successful publish — the live-server hot-swap hook.
+        engine: ``"sequential"`` (in-process sampler) or ``"mp"`` (the
+            multiprocess backend; publishes through its publish hook).
+        n_workers: worker count for the mp engine.
+        faults: optional :class:`repro.faults.StreamFaultPlan`.
+        max_pending / max_new_nodes: overlay bounds (see
+            :class:`~repro.stream.delta.DeltaOverlay`).
+    """
+
+    def __init__(
+        self,
+        base_graph: Graph,
+        config: AMMSBConfig,
+        workdir: PathLike,
+        iterations_per_generation: int = 200,
+        heldout_fraction: float = 0.01,
+        heldout_max_links: Optional[int] = 2000,
+        publish_path: Optional[PathLike] = None,
+        publish_callback: Optional[Callable[[Path, int], None]] = None,
+        engine: str = "sequential",
+        n_workers: int = 2,
+        faults=None,
+        max_pending: int = 1 << 20,
+        max_new_nodes: Optional[int] = None,
+    ) -> None:
+        if engine not in ("sequential", "mp"):
+            raise ValueError(f"unknown engine {engine!r}")
+        if iterations_per_generation < 1:
+            raise ValueError("iterations_per_generation must be >= 1")
+        self.config = config
+        self.workdir = Path(workdir)
+        self.workdir.mkdir(parents=True, exist_ok=True)
+        self.iterations_per_generation = int(iterations_per_generation)
+        self.heldout_fraction = float(heldout_fraction)
+        self.heldout_max_links = heldout_max_links
+        self.publish_path = Path(publish_path) if publish_path else None
+        self.publish_callback = publish_callback
+        self.engine = engine
+        self.n_workers = int(n_workers)
+        self.faults = faults if faults is not None and not faults.empty else None
+        self.overlay = DeltaOverlay(
+            base_graph, max_pending=max_pending, max_new_nodes=max_new_nodes
+        )
+        self.state: Optional[ModelState] = None
+        self.iteration = 0  # cumulative across generations (schedule clock)
+        self.generation = 0  # next generation index
+        self.reports: list[GenerationReport] = []
+        self.last_published: Optional[Path] = None
+
+    @classmethod
+    def from_checkpoint(
+        cls,
+        checkpoint_path: PathLike,
+        base_graph: Graph,
+        workdir: PathLike,
+        config: Optional[AMMSBConfig] = None,
+        **kwargs,
+    ) -> "StreamTrainer":
+        """Resume streaming from a trained batch checkpoint.
+
+        The checkpoint's state/iteration seed generation 0's warm start
+        (its config is used unless overridden), so a long batch run
+        converts into a stream without a cold restart.
+        """
+        state, iteration, ckpt_config = load_state_checkpoint(checkpoint_path)
+        if state.n_vertices != base_graph.n_vertices:
+            raise ValueError(
+                f"checkpoint covers {state.n_vertices} vertices but the base"
+                f" graph has {base_graph.n_vertices}"
+            )
+        trainer = cls(base_graph, config or ckpt_config, workdir, **kwargs)
+        trainer.state = state
+        trainer.iteration = int(iteration)
+        return trainer
+
+    # -- ingestion -----------------------------------------------------------
+
+    def ingest(self, arrivals: Sequence[EdgeArrival]) -> IngestReport:
+        """Buffer a batch of arrivals (fault-mangled first, if injected).
+
+        Malformed records are quarantined (``strict=False``) — a dirty
+        stream degrades accounting, never the trainer.
+        """
+        arrivals = list(arrivals)
+        if self.faults is not None:
+            arrivals = self.faults.mangle_arrivals(arrivals)
+        pairs, ts = arrivals_to_arrays(arrivals)
+        return self.overlay.ingest_pairs(pairs, timestamps=ts, strict=False)
+
+    # -- the generation loop -------------------------------------------------
+
+    def run_generation(
+        self,
+        arrivals: Optional[Sequence[EdgeArrival]] = None,
+        n_iterations: Optional[int] = None,
+        heldout: Optional[HeldoutSplit] = None,
+    ) -> GenerationReport:
+        """Ingest → compact → warm-start → train → checkpoint → publish.
+
+        Args:
+            arrivals: this generation's arrivals (already-``ingest``-ed
+                deltas are also picked up; pass ``None`` to train on the
+                current overlay alone — generation 0 usually does).
+            n_iterations: training budget override.
+            heldout: explicit held-out split (its ``train`` graph must
+                match this generation's compacted graph); a fresh split
+                is drawn otherwise.
+
+        Returns:
+            The :class:`GenerationReport`, also appended to ``reports``.
+        """
+        gen = self.generation
+        n_iter = int(n_iterations or self.iterations_per_generation)
+        ingest_report = self.ingest(arrivals) if arrivals else IngestReport()
+
+        n_before = self.overlay.base.n_vertices
+        graph = self.overlay.compact(self.workdir / f"graph_g{gen:04d}.csr")
+        n_new_nodes = graph.n_vertices - n_before
+
+        if self.state is None:
+            rng = np.random.default_rng(self.config.seed)
+            try:
+                self.state = init_state_spectral(graph, self.config, rng=rng)
+            except ValueError:
+                self.state = init_state(graph.n_vertices, self.config, rng)
+        else:
+            self.state = extend_state_informed(self.state, graph, self.config)
+
+        if heldout is None:
+            heldout = split_heldout(
+                graph,
+                self.heldout_fraction,
+                rng=np.random.default_rng(self.config.seed + 7919 * (gen + 1)),
+                max_links=self.heldout_max_links,
+            )
+        elif heldout.train.n_vertices != graph.n_vertices:
+            raise ValueError(
+                "heldout split does not match this generation's graph"
+            )
+
+        t0 = time.perf_counter()
+        if self.engine == "mp":
+            self._train_mp(heldout, n_iter, gen)
+        else:
+            sampler = AMMSBSampler(
+                heldout.train, self.config, heldout=heldout, state=self.state
+            )
+            sampler.iteration = self.iteration
+            sampler.run(n_iter)
+            self.state = sampler.state
+        train_seconds = time.perf_counter() - t0
+        self.iteration += n_iter
+
+        estimator = PerplexityEstimator(
+            heldout.heldout_pairs, heldout.heldout_labels, self.config.delta
+        )
+        perplexity = estimator.single_sample_value(self.state.pi, self.state.beta)
+
+        checkpoint_path = self.workdir / f"checkpoint_g{gen:04d}.npz"
+        save_state_checkpoint(
+            checkpoint_path, self.state, self.iteration, self.config
+        )
+
+        published = False
+        publish_error: Optional[str] = None
+        if self.publish_path is not None:
+            if self.faults is not None and self.faults.publish_fails(gen):
+                publish_error = f"injected publish failure (generation {gen})"
+            elif self.engine != "mp":
+                export_artifact(
+                    self.publish_path, self.state, self.config,
+                    iteration=self.iteration,
+                )
+                published = True
+            else:
+                published = self._mp_published
+            if published:
+                self.last_published = self.publish_path
+                if self.publish_callback is not None:
+                    self.publish_callback(self.publish_path, gen)
+
+        report = GenerationReport(
+            generation=gen,
+            n_iterations=n_iter,
+            train_seconds=train_seconds,
+            perplexity=float(perplexity),
+            ingest=ingest_report,
+            n_vertices=graph.n_vertices,
+            n_edges=graph.n_edges,
+            n_new_nodes=n_new_nodes,
+            checkpoint_path=checkpoint_path,
+            artifact_path=self.publish_path if published else self.last_published,
+            published=published,
+            publish_error=publish_error,
+        )
+        self.reports.append(report)
+        self.generation += 1
+        return report
+
+    def _train_mp(self, heldout: HeldoutSplit, n_iter: int, gen: int) -> None:
+        """One generation on the multiprocess backend (publishes via hook)."""
+        from repro.dist.mp import MultiprocessAMMSBSampler
+
+        publish = (
+            self.publish_path is not None
+            and not (self.faults is not None and self.faults.publish_fails(gen))
+        )
+        self._mp_published = False
+        with MultiprocessAMMSBSampler(
+            heldout.train,
+            self.config,
+            n_workers=self.n_workers,
+            heldout=heldout,
+            state=self.state,
+        ) as sampler:
+            sampler.iteration = self.iteration
+            sampler.run(n_iter)
+            self.state = sampler.state_snapshot()
+            if publish:
+                sampler.publish_artifact(self.publish_path)
+                self._mp_published = True
+
+    def run(
+        self,
+        batches: Sequence[Sequence[EdgeArrival]],
+        n_iterations: Optional[int] = None,
+    ) -> list[GenerationReport]:
+        """Replay arrival batches, one generation each; returns the reports."""
+        return [self.run_generation(batch, n_iterations) for batch in batches]

@@ -360,3 +360,94 @@ class TestAucCommand:
         rc = main(["auc", "--edges", str(trained_artifact["edges"]),
                    "--checkpoint", str(tmp_path / "no.npz")])
         assert rc == 3
+
+
+class TestStreamCommand:
+    def test_replay_end_to_end(self, tmp_path, capsys):
+        import json
+
+        edges = tmp_path / "g.txt"
+        main(["generate", "--vertices", "130", "--communities", "3",
+              "--output", str(edges)])
+        rc = main(["stream", "--edges", str(edges), "-k", "3",
+                   "--iterations", "30", "--generations", "2",
+                   "--workdir", str(tmp_path / "wd"),
+                   "--drift", "0", "999999"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        # Generation 0 (base) plus one per batch.
+        for gen in (0, 1, 2):
+            assert f"generation {gen}:" in captured.out
+        # Drift JSON for node 0 is the last stdout line; the unknown node
+        # goes to stderr without failing the replay.
+        drift = json.loads(captured.out.strip().splitlines()[-1])
+        assert drift["node"] == 0
+        assert drift["first_seen_generation"] == 0
+        assert len(drift["generations"]) == 3
+        assert "drift 999999" in captured.err
+        assert "final artifact" in captured.err
+        assert (tmp_path / "wd" / "artifact.npz").exists()
+
+    def test_too_few_arrivals_exit_2(self, tmp_path, capsys):
+        f = tmp_path / "tiny.txt"
+        f.write_text("0 1\n")
+        rc = main(["stream", "--edges", str(f), "-k", "2",
+                   "--workdir", str(tmp_path / "wd")])
+        assert rc == 2
+        assert "need at least 2 arrivals" in capsys.readouterr().err
+
+    def test_degenerate_base_prefix_exit_2(self, tmp_path, capsys):
+        f = tmp_path / "loops.txt"
+        f.write_text("".join(f"{i} {i}\n" for i in range(10)))
+        rc = main(["stream", "--edges", str(f), "-k", "2",
+                   "--workdir", str(tmp_path / "wd")])
+        assert rc == 2
+        assert "no usable edges" in capsys.readouterr().err
+
+
+class TestServeDrift:
+    def test_drift_verb_over_line_protocol(self, trained_artifact, capsys,
+                                           monkeypatch):
+        import io
+        import json
+
+        monkeypatch.setattr("sys.stdin", io.StringIO("drift 5\nquit\n"))
+        rc = main(["serve", "--artifact", str(trained_artifact["artifact"]),
+                   "--workers", "1", "--drift-window", "4"])
+        assert rc == 0
+        drift = json.loads(capsys.readouterr().out)
+        assert drift["node"] == 5
+        assert drift["first_seen_generation"] == 0
+        assert len(drift["generations"]) == 1
+
+    def test_drift_verb_without_window_reports_error(self, trained_artifact,
+                                                     capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO("drift 5\nquit\n"))
+        rc = main(["serve", "--artifact", str(trained_artifact["artifact"]),
+                   "--workers", "1"])
+        assert rc == 0  # the server keeps running; the error is per-query
+        assert "drift" in capsys.readouterr().err
+
+
+class TestStreamBaseline:
+    def test_committed_stream_baseline_is_valid_and_meets_acceptance(self):
+        """The checked-in BENCH_stream.json parses, tracks every metric,
+        and records passing acceptance bars."""
+        from pathlib import Path
+
+        from repro.bench.streambench import (
+            TRACKED_FRACTIONS,
+            TRACKED_SPEEDUPS,
+            load_report,
+        )
+
+        baseline = load_report(
+            Path(__file__).parent.parent / "BENCH_stream.json"
+        )
+        for name in TRACKED_SPEEDUPS:
+            assert baseline["speedups"].get(name) is not None, name
+        for name in TRACKED_FRACTIONS:
+            assert baseline["fractions"].get(name) is not None, name
+        assert all(baseline["acceptance"].values())

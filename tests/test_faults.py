@@ -18,11 +18,14 @@ from repro.cluster.spec import das5
 from repro.config import AMMSBConfig, StepSizeConfig
 from repro.dist.sampler import DistributedAMMSBSampler
 from repro.faults import (
+    ARRIVAL_FAULT_MODES,
     CommTimeout,
     DKVTimeout,
     FaultPlan,
     LinkDegradation,
+    PublishFailure,
     ServerStall,
+    StreamFaultPlan,
     WorkerCrash,
     WorkerCrashed,
     WorkerStall,
@@ -125,6 +128,87 @@ class TestFaultPlan:
     def test_describe(self):
         assert FaultPlan().describe() == "FaultPlan(empty)"
         assert "crash" in chaos_plan(seed=1).describe()
+
+
+class TestStreamFaultPlan:
+    def _arrivals(self, n=50):
+        from repro.stream import EdgeArrival
+
+        return [EdgeArrival(float(i), i, i + 1) for i in range(n)]
+
+    def test_empty_plan_is_a_noop(self):
+        plan = StreamFaultPlan(seed=3)
+        assert plan.empty
+        arrivals = self._arrivals()
+        assert plan.mangle_arrivals(arrivals) == arrivals
+        assert plan.mangle_draws == 0
+        assert not plan.publish_fails(0)
+
+    def test_mangling_is_deterministic(self):
+        arrivals = self._arrivals()
+        a = StreamFaultPlan(seed=9, malformed_rate=0.3, out_of_order_rate=0.2)
+        b = StreamFaultPlan(seed=9, malformed_rate=0.3, out_of_order_rate=0.2)
+        assert a.mangle_arrivals(arrivals) == b.mangle_arrivals(arrivals)
+
+    def test_malformed_modes_cycle(self):
+        arrivals = self._arrivals(200)
+        plan = StreamFaultPlan(seed=1, malformed_rate=0.5)
+        mangled = plan.mangle_arrivals(arrivals)
+        loops = sum(1 for m in mangled if m.src == m.dst)
+        negs = sum(1 for m in mangled if m.src < 0)
+        overs = sum(1 for m in mangled if m.dst >= 1 << 31)
+        assert loops and negs and overs
+        assert loops + negs + overs < len(arrivals)  # some survive
+        # Originals untouched (replace(), never mutation).
+        assert arrivals[0].src == 0
+
+    def test_out_of_order_pushes_timestamps_back(self):
+        arrivals = self._arrivals(100)
+        plan = StreamFaultPlan(seed=4, out_of_order_rate=0.3)
+        mangled = plan.mangle_arrivals(arrivals)
+        late = [m for m, a in zip(mangled, arrivals)
+                if m.timestamp < a.timestamp]
+        assert late and all(m.src >= 0 for m in mangled)
+
+    def test_fault_sequence_independent_of_enabled_faults(self):
+        """Two draws per record: adding a second fault type must not
+        shift which records the first one hits."""
+        arrivals = self._arrivals(200)
+        only_bad = StreamFaultPlan(seed=5, malformed_rate=0.2)
+        both = StreamFaultPlan(
+            seed=5, malformed_rate=0.2, out_of_order_rate=0.4
+        )
+        bad_a = [i for i, (m, a) in enumerate(
+            zip(only_bad.mangle_arrivals(arrivals), arrivals))
+            if (m.src, m.dst) != (a.src, a.dst)]
+        bad_b = [i for i, (m, a) in enumerate(
+            zip(both.mangle_arrivals(arrivals), arrivals))
+            if (m.src, m.dst) != (a.src, a.dst)]
+        assert bad_a == bad_b
+
+    def test_publish_failures(self):
+        plan = StreamFaultPlan(
+            seed=0, publish_failures=(PublishFailure(2), PublishFailure(5))
+        )
+        assert not plan.empty
+        assert plan.publish_fails(2) and plan.publish_fails(5)
+        assert not plan.publish_fails(3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StreamFaultPlan(malformed_rate=1.0)
+        with pytest.raises(ValueError):
+            StreamFaultPlan(out_of_order_rate=-0.1)
+        with pytest.raises(ValueError):
+            PublishFailure(-1)
+
+    def test_describe_and_modes(self):
+        assert set(ARRIVAL_FAULT_MODES) == {
+            "self-loop", "negative-id", "id-overflow"
+        }
+        plan = StreamFaultPlan(seed=1, malformed_rate=0.1)
+        assert "malformed" in plan.describe()
+        assert StreamFaultPlan().describe()
 
 
 class TestAnyOf:

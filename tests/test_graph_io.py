@@ -55,6 +55,58 @@ class TestEdgeList:
         assert "Nodes: 6 Edges: 7" in text
 
 
+class TestStreamingDedup:
+    """``dedup=True`` must agree with the legacy whole-file path exactly."""
+
+    def _dirty_file(self, tmp_path, n_lines=5000, seed=0):
+        rng = np.random.default_rng(seed)
+        pairs = rng.integers(0, 40, size=(n_lines, 2))
+        path = tmp_path / "dirty.txt"
+        lines = ["# dirty: repeats, reversals, self-loops"]
+        lines += [f"{a} {b}" for a, b in pairs]
+        path.write_text("\n".join(lines) + "\n")
+        return path
+
+    def test_streaming_matches_legacy(self, tmp_path):
+        path = self._dirty_file(tmp_path)
+        streaming = load_edge_list(path, chunk_lines=257, dedup=True)
+        legacy = load_edge_list(path, chunk_lines=257, dedup=False)
+        assert streaming.n_vertices == legacy.n_vertices
+        np.testing.assert_array_equal(streaming.edges, legacy.edges)
+
+    def test_duplicates_dropped_across_chunk_boundaries(self, tmp_path):
+        path = tmp_path / "rep.txt"
+        # The same edge (reversed half the time) on every line, spanning
+        # many chunks — the merge must keep exactly one.
+        path.write_text(
+            "\n".join("0 1" if i % 2 else "1 0" for i in range(1000)) + "\n"
+        )
+        g = load_edge_list(path, chunk_lines=64, dedup=True)
+        assert g.n_edges == 1
+
+    def test_n_vertices_respected(self, tmp_path):
+        path = tmp_path / "v.txt"
+        path.write_text("0 1\n1 0\n0 2\n")
+        g = load_edge_list(path, n_vertices=10, dedup=True)
+        assert g.n_vertices == 10 and g.n_edges == 2
+
+    def test_huge_id_falls_back_to_legacy_path(self, tmp_path):
+        """Ids past 2**31 mid-file: the parser degrades, not corrupts."""
+        path = tmp_path / "huge.txt"
+        big = (1 << 31) + 5
+        path.write_text(f"0 1\n1 0\n0 2\n{big} 0\n0 1\n")
+        streaming = load_edge_list(path, chunk_lines=2, dedup=True)
+        legacy = load_edge_list(path, chunk_lines=2, dedup=False)
+        np.testing.assert_array_equal(streaming.edges, legacy.edges)
+        assert streaming.n_vertices == 4  # ids densely remapped
+
+    def test_sparse_id_remap_unaffected(self, tmp_path):
+        path = tmp_path / "sparse.txt"
+        path.write_text("100 200\n200 100\n200 4000\n")
+        g = load_edge_list(path, dedup=True)
+        assert g.n_vertices == 3 and g.n_edges == 2
+
+
 class TestStreamingParse:
     """The chunked parser must agree with a one-shot parse exactly."""
 

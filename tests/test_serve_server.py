@@ -247,6 +247,7 @@ class TestThreadedWorkers:
             assert set(ENDPOINTS) == {
                 "link_probability", "membership",
                 "community_members", "recommend_edges",
+                "membership_drift",
             }
 
 
@@ -264,3 +265,60 @@ class TestSizingValidation:
     def test_bad_parameters(self, kwargs):
         with pytest.raises(ValueError):
             ModelServer(_artifact(), **kwargs)
+
+
+class TestMembershipDrift:
+    """The drift endpoint rides the history retained across hot-swaps."""
+
+    def _drain(self, server, fut):
+        server.process_once()
+        return fut.result(timeout=5)
+
+    def test_disabled_without_drift_window(self):
+        with ModelServer(_artifact(), n_workers=0) as server:
+            with pytest.raises(ValueError, match="drift_window"):
+                server.membership_drift(0)
+
+    def test_engine_requires_history(self):
+        engine = QueryEngine(_artifact())
+        with pytest.raises(ValueError, match="without drift tracking"):
+            engine.membership_drift(0, None)
+
+    def test_initial_artifact_is_generation_zero(self):
+        with ModelServer(_artifact(), n_workers=0, drift_window=4) as server:
+            d = self._drain(server, server.membership_drift(3))
+            assert d["node"] == 3
+            assert d["first_seen_generation"] == 0
+            assert len(d["generations"]) == 1
+
+    def test_history_survives_hot_swap(self):
+        art = _artifact()
+        with ModelServer(art, n_workers=0, drift_window=4) as server:
+            server.publish(_perturbed(art))
+            d = self._drain(server, server.membership_drift(0))
+            gens = [g["generation"] for g in d["generations"]]
+            assert len(gens) == 2 and gens[0] < gens[1]
+
+    def test_failed_publish_not_recorded(self, tmp_path):
+        art = _artifact()
+        bad = tmp_path / "bad.npz"
+        bad.write_bytes(b"garbage")
+        with ModelServer(art, n_workers=0, drift_window=4) as server:
+            with pytest.raises(Exception):
+                server.publish_path(bad)
+            d = self._drain(server, server.membership_drift(0))
+            assert len(d["generations"]) == 1
+
+    def test_unknown_node_error_propagates(self):
+        with ModelServer(_artifact(), n_workers=0, drift_window=4) as server:
+            fut = server.membership_drift(10_000)
+            server.process_once()
+            with pytest.raises(KeyError):
+                fut.result(timeout=5)
+
+    def test_drift_answers_through_worker_threads(self):
+        art = _artifact()
+        with ModelServer(art, n_workers=2, drift_window=4) as server:
+            server.publish(_perturbed(art))
+            d = server.query("membership_drift", 1, None)
+            assert len(d["generations"]) == 2

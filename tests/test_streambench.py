@@ -1,0 +1,88 @@
+"""Streaming bench: schema, acceptance bars, regression comparison."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import streambench
+
+
+@pytest.fixture(scope="module")
+def report():
+    return streambench.run_stream_bench(quick=True, seed=0)
+
+
+class TestRunStreamBench:
+    def test_schema_and_sections(self, report):
+        assert report["schema"] == streambench.SCHEMA
+        assert report["quick"] is True
+        for section in ("workload", "results", "speedups", "fractions",
+                        "acceptance"):
+            assert section in report
+        for name in streambench.TRACKED_SPEEDUPS:
+            assert report["speedups"][name] > 0
+        for name in streambench.TRACKED_FRACTIONS:
+            assert report["fractions"][name] > 0
+
+    def test_acceptance_bars_hold_at_quick_scale(self, report):
+        assert report["acceptance"]["warm_within_2pct"]
+        assert report["acceptance"]["warm_under_half_cold"]
+
+    def test_stream_actually_grew_the_graph(self, report):
+        r = report["results"]
+        assert r["ingest"]["edges_accepted"] > 0
+        assert r["ingest"]["new_nodes"] > 0
+        assert r["drift_generations_for_new_node"] >= 1
+        assert r["warm"]["hot_swap_s"] is not None
+
+    def test_report_rows_render(self, report):
+        rows = streambench.report_rows(report)
+        assert any("warm_vs_cold_speedup" in r for r in rows)
+        assert any("PASS" in r or "FAIL" in r for r in rows)
+
+
+class TestCompareReports:
+    def test_self_comparison_never_regresses(self, report):
+        rows = streambench.compare_reports(report, report)
+        assert rows and not any(r["regressed"] for r in rows)
+
+    def test_speedup_drop_flags_regression(self, report):
+        slow = {
+            "speedups": {
+                k: v * 0.3 for k, v in report["speedups"].items()
+            },
+            "fractions": dict(report["fractions"]),
+        }
+        rows = streambench.compare_reports(report, slow, threshold=0.5)
+        assert any(
+            r["regressed"] for r in rows if r["metric"].startswith("speedups")
+        )
+
+    def test_perplexity_ratio_rise_flags_regression(self, report):
+        worse = {
+            "speedups": dict(report["speedups"]),
+            "fractions": {
+                k: v * 2.0 + 0.2 for k, v in report["fractions"].items()
+            },
+        }
+        rows = streambench.compare_reports(report, worse, threshold=0.5)
+        assert any(
+            r["regressed"] for r in rows if r["metric"].startswith("fractions")
+        )
+
+    def test_missing_metrics_are_skipped(self, report):
+        assert streambench.compare_reports({}, report) == []
+
+
+class TestReportIO:
+    def test_round_trip(self, report, tmp_path):
+        path = tmp_path / "r.json"
+        streambench.save_report(report, path)
+        back = streambench.load_report(path)
+        assert back["speedups"] == pytest.approx(report["speedups"])
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"schema": "other/9"}')
+        with pytest.raises(ValueError, match="schema"):
+            streambench.load_report(path)
