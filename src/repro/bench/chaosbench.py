@@ -1,0 +1,359 @@
+"""Chaos drill for the durable streaming tier: kill it, then prove recovery.
+
+``run_chaos_stream`` replays one deterministic arrival stream through
+:class:`~repro.stream.trainer.StreamTrainer` while injecting every fault
+class the durability work claims to survive, and asserts the recovery
+invariants end to end:
+
+- **kill/resume at every phase** — for each phase in
+  :data:`repro.faults.CRASH_PHASES`, a run is killed mid-generation
+  (via :class:`~repro.faults.InjectedCrash`), resumed with
+  :meth:`StreamTrainer.resume`, re-fed the crashed batch, and driven to
+  completion. The final digested CSR must be byte-identical to an
+  uninterrupted reference run — same edge-key set, same container
+  ``content_version`` — i.e. no accepted edge lost, none duplicated.
+- **torn journal write** — a frame is cut mid-write; reopen must
+  truncate exactly the torn tail, the re-fed batch must land, and the
+  final state must still match the reference.
+- **quarantine persistence** — malformed records fed in a clean batch
+  must survive crash + resume in the sidecar with their reasons.
+- **source supervision** — injected poll I/O faults plus a file
+  rotation must be absorbed by :class:`~repro.stream.follow
+  .FollowSupervisor` backoff with every edge still ingested.
+- **serving** — the artifact recorded by the resumed run's manifest
+  must load and answer a membership query about a streamed-in node.
+
+``repro chaos-stream`` runs this drill and exits non-zero when any
+invariant fails, which is what makes it a CI gate rather than a demo.
+Schema v1 (``repro-chaos-stream/1``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from tempfile import TemporaryDirectory
+from typing import Any, Optional
+
+import numpy as np
+
+SCHEMA = "repro-chaos-stream/1"
+
+
+def _final_state(workdir: Path) -> tuple[str, frozenset, int]:
+    """(content_version, edge-key set, n_vertices) of a run's digested CSR."""
+    from repro.graph.io import load_csr
+    from repro.store.container import read_manifest
+    from repro.stream.trainer import StreamTrainer
+
+    manifest = StreamTrainer.read_manifest(workdir)
+    graph_path = Path(manifest["graph_path"])
+    if not graph_path.is_absolute():
+        graph_path = workdir / graph_path
+    version = read_manifest(graph_path)["content_version"]
+    graph = load_csr(graph_path, provider="resident")
+    return version, frozenset(int(k) for k in graph.keys), graph.n_vertices
+
+
+def run_chaos_stream(
+    quick: bool = False, seed: int = 0, n_iterations: int = 8
+) -> dict[str, Any]:
+    """Run the full chaos drill; returns the JSON-ready report.
+
+    Args:
+        quick: smaller graph and fewer batches (CI-sized; same fault
+            coverage — every crash phase still runs).
+        seed: master seed for the planted graph and stream.
+        n_iterations: per-generation training budget. The invariants are
+            about durability, not model quality, so this stays tiny.
+    """
+    from repro.config import AMMSBConfig, StepSizeConfig
+    from repro.faults import CRASH_PHASES, InjectedCrash, JournalTear, \
+        SourceFault, StreamFaultPlan, TrainerCrash
+    from repro.graph.generators import planted_overlapping_graph
+    from repro.serve.artifact import load_artifact
+    from repro.serve.server import ModelServer
+    from repro.stream.follow import FollowSupervisor, TriggerPolicy, follow_stream
+    from repro.stream.source import (
+        EdgeArrival,
+        FileTailSource,
+        SyntheticArrivalSource,
+        write_arrival_file,
+    )
+    from repro.stream.trainer import StreamTrainer
+
+    n_vertices = 160 if quick else 260
+    n_batches = 4
+    rng = np.random.default_rng(seed)
+    graph, _ = planted_overlapping_graph(
+        n_vertices, 4, memberships_per_vertex=1, p_in=0.25, p_out=0.004, rng=rng
+    )
+    source = SyntheticArrivalSource(graph, base_fraction=0.85, seed=seed + 3)
+    base = source.base_graph()
+    batches = list(source.batches(n_batches))
+    config = AMMSBConfig(
+        n_communities=4,
+        mini_batch_vertices=32,
+        neighbor_sample_size=16,
+        seed=seed + 2,
+        step_phi=StepSizeConfig(a=0.05),
+        step_theta=StepSizeConfig(a=0.05),
+    )
+    # No mangling faults in crash scenarios: RNG-driven corruption does
+    # not replay identically across a kill/resume boundary, so equality
+    # with the reference would be vacuous. Dirty input is exercised
+    # separately (quarantine scenario) with *explicit* bad records.
+
+    invariants: dict[str, bool] = {}
+    details: dict[str, Any] = {}
+    t0 = time.perf_counter()
+
+    def trainer_kwargs(tmp: Path, **extra) -> dict:
+        kw = dict(
+            workdir=tmp / "work",
+            iterations_per_generation=n_iterations,
+            publish_path=tmp / "artifact.npz",
+            history_path=tmp / "history.npz",
+            heldout_fraction=0.05,
+            journal_segment_bytes=1 << 12,  # roll often: GC paths exercised
+        )
+        kw.update(extra)
+        return kw
+
+    # -- reference: the same stream, never interrupted.
+    with TemporaryDirectory(prefix="repro-chaos-ref-") as tmp:
+        tmp = Path(tmp)
+        trainer = StreamTrainer(base, config, **trainer_kwargs(tmp))
+        for batch in batches:
+            trainer.run_generation(batch)
+        ref_version, ref_keys, ref_n = _final_state(tmp / "work")
+    details["reference"] = {
+        "n_edges": len(ref_keys),
+        "n_vertices": ref_n,
+        "content_version": ref_version,
+        "n_batches": n_batches,
+    }
+
+    def run_killed(faults, crash_batch: int, tmp: Path, resume_kwargs=None):
+        """Drive batches until the injected crash, resume, finish.
+
+        Returns (resumed_trainer, crash_seen). The crashed batch is
+        re-fed after resume — at-least-once delivery the overlay and
+        journal must absorb into exactly-once state.
+        """
+        trainer = StreamTrainer(base, config, **trainer_kwargs(tmp, faults=faults))
+        crash_seen = None
+        for i, batch in enumerate(batches):
+            try:
+                trainer.run_generation(batch)
+            except InjectedCrash as exc:
+                crash_seen = exc.where
+                assert i == crash_batch, (i, crash_batch)
+                break
+        else:  # pragma: no cover - drill misconfiguration
+            return trainer, None
+        trainer.journal.close()  # the "process" died; release the handle
+        resumed = StreamTrainer.resume(
+            tmp / "work",
+            iterations_per_generation=n_iterations,
+            heldout_fraction=0.05,
+            **(resume_kwargs or {}),
+        )
+        for batch in batches[crash_batch:]:
+            resumed.run_generation(batch)
+        return resumed, crash_seen
+
+    # -- kill/resume at every crash phase.
+    crash_batch = 2
+    phase_results = {}
+    for phase in CRASH_PHASES:
+        with TemporaryDirectory(prefix="repro-chaos-kill-") as tmp:
+            tmp = Path(tmp)
+            faults = StreamFaultPlan(
+                seed=seed,
+                trainer_crashes=(TrainerCrash(phase=phase, generation=crash_batch),),
+            )
+            resumed, crash_seen = run_killed(faults, crash_batch, tmp)
+            version, keys, n = _final_state(tmp / "work")
+            phase_results[phase] = {
+                "crashed": crash_seen is not None,
+                "no_lost_edges": ref_keys <= keys,
+                "no_duplicate_edges": keys <= ref_keys,
+                "csr_matches_reference": version == ref_version,
+                "generations": resumed.generation,
+                "last_known_good_served": (
+                    resumed.last_published is not None
+                    and Path(resumed.last_published).exists()
+                ),
+            }
+    ok = lambda key: all(r[key] for r in phase_results.values())  # noqa: E731
+    invariants["crash_injected_every_phase"] = all(
+        r["crashed"] for r in phase_results.values()
+    )
+    invariants["no_lost_edges"] = ok("no_lost_edges")
+    invariants["no_duplicate_edges"] = ok("no_duplicate_edges")
+    invariants["csr_matches_reference"] = ok("csr_matches_reference")
+    invariants["last_known_good_served"] = ok("last_known_good_served")
+    details["kill_resume"] = phase_results
+
+    # -- torn journal write: the frame for batch 1 is cut mid-write.
+    with TemporaryDirectory(prefix="repro-chaos-tear-") as tmp:
+        tmp = Path(tmp)
+        faults = StreamFaultPlan(seed=seed, journal_tears=(JournalTear(append=1),))
+        resumed, crash_seen = run_killed(faults, 1, tmp)
+        version, keys, _ = _final_state(tmp / "work")
+        repaired = resumed.journal.repaired  # (path, offset, reason) or None
+        invariants["torn_tail_repaired"] = (
+            crash_seen is not None and repaired is not None
+            and version == ref_version
+        )
+        details["torn_write"] = {
+            "repaired": (
+                {"path": str(repaired[0]), "offset": repaired[1],
+                 "reason": repaired[2]}
+                if repaired else None
+            ),
+            "csr_matches_reference": version == ref_version,
+        }
+
+    # -- quarantine persistence across a crash.
+    with TemporaryDirectory(prefix="repro-chaos-quar-") as tmp:
+        tmp = Path(tmp)
+        faults = StreamFaultPlan(
+            seed=seed,
+            trainer_crashes=(TrainerCrash(phase="post-journal-append", generation=1),),
+        )
+        trainer = StreamTrainer(base, config, **trainer_kwargs(tmp, faults=faults))
+        bad = [
+            EdgeArrival(timestamp=0.5, src=-4, dst=7),
+            EdgeArrival(timestamp=0.6, src=3, dst=3),
+        ]
+        trainer.run_generation(batches[0] + bad)
+        n_quarantined_before = len(trainer.quarantine_log)
+        try:
+            trainer.run_generation(batches[1])
+            crashed = False
+        except InjectedCrash:
+            crashed = True
+        trainer.journal.close()
+        resumed = StreamTrainer.resume(
+            tmp / "work",
+            iterations_per_generation=n_iterations,
+            heldout_fraction=0.05,
+        )
+        records = resumed.quarantine_log.read()
+        reasons = {r["reason"] for r in records}
+        invariants["quarantine_persisted"] = (
+            crashed
+            and n_quarantined_before >= 2
+            and len(records) == n_quarantined_before
+            and len(reasons) >= 2
+        )
+        details["quarantine"] = {
+            "records": len(records),
+            "reasons": sorted(reasons),
+        }
+
+    # -- supervised source: injected poll faults + a file rotation.
+    with TemporaryDirectory(prefix="repro-chaos-follow-") as tmp:
+        tmp = Path(tmp)
+        arrivals = [a for batch in batches for a in batch]
+        # 3/4 then 1/4: the rotated replacement is decidedly smaller than
+        # the consumed offset, so the shrink check must fire.
+        half = 3 * len(arrivals) // 4
+        feed = write_arrival_file(tmp / "feed.txt", arrivals[:half])
+        tail = FileTailSource(feed, strict=False)
+        trainer = StreamTrainer(base, config, **trainer_kwargs(tmp))
+        clock_now = [0.0]
+        supervisor = FollowSupervisor(
+            tail,
+            poll_interval_s=0.0,
+            backoff_initial_s=0.01,
+            stall_deadline_s=60.0,
+            faults=StreamFaultPlan(
+                seed=seed, source_faults=(SourceFault(poll=1, errors=2),)
+            ),
+            seed=seed,
+            sleep=lambda s: clock_now.__setitem__(0, clock_now[0] + s),
+            clock=lambda: clock_now[0],
+        )
+        policy = TriggerPolicy(max_edges=max(1, half // 2))
+        report1 = follow_stream(
+            trainer, supervisor, policy, idle_exit_polls=3,
+            n_iterations=n_iterations,
+        )
+        # Rotate: the feed is atomically replaced by a SHORTER file
+        # holding only the tail of the stream.
+        write_arrival_file(tmp / "feed.next", arrivals[half:])
+        (tmp / "feed.next").replace(feed)
+        report2 = follow_stream(
+            trainer, supervisor, policy, idle_exit_polls=3,
+            n_iterations=n_iterations,
+        )
+        version, keys, _ = _final_state(tmp / "work")
+        invariants["source_retry_recovered"] = (
+            supervisor.failures >= 2
+            and supervisor.backoffs >= 2
+            and tail.n_rotations >= 1
+            and keys == ref_keys
+            and version == ref_version
+        )
+        details["follow"] = {
+            "polls": supervisor.polls,
+            "failures": supervisor.failures,
+            "rotations": tail.n_rotations,
+            "generations": len(report1.generations) + len(report2.generations),
+            "triggers": report1.triggers + report2.triggers,
+            "drained": [report1.drained, report2.drained],
+            "csr_matches_reference": version == ref_version,
+        }
+
+        # -- serving after the follow run: the published artifact answers
+        # a query about a node that only exists because the stream ran.
+        artifact = load_artifact(tmp / "artifact.npz")
+        server = ModelServer(
+            artifact, n_workers=0, drift_window=4,
+            history_path=tmp / "history.npz",
+        )
+        try:
+            new_node = graph.n_vertices - 1
+            fut = server.membership(new_node)
+            server.process_once()
+            membership = fut.result(timeout=30)
+            invariants["artifact_serves_after_resume"] = len(membership) > 0
+        finally:
+            server.close()
+        details["serve"] = {
+            "artifact_version": artifact.version,
+            "queried_node": int(new_node),
+        }
+
+    report = {
+        "schema": SCHEMA,
+        "quick": bool(quick),
+        "seed": int(seed),
+        "elapsed_s": time.perf_counter() - t0,
+        "invariants": invariants,
+        "passed": all(invariants.values()),
+        "details": details,
+    }
+    return report
+
+
+def report_rows(report: dict[str, Any]) -> list[str]:
+    """Human-readable drill summary for the CLI."""
+    ref = report["details"]["reference"]
+    rows = [
+        f"chaos-stream: {ref['n_edges']} edges, {ref['n_vertices']} vertices, "
+        f"{ref['n_batches']} batches (quick={report['quick']}, "
+        f"{report['elapsed_s']:.1f}s)",
+    ]
+    for name, ok in sorted(report["invariants"].items()):
+        rows.append(f"  {name}: {'PASS' if ok else 'FAIL'}")
+    rows.append(f"result: {'PASS' if report['passed'] else 'FAIL'}")
+    return rows
+
+
+def save_report(report: dict[str, Any], path) -> None:
+    Path(path).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")

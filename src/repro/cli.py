@@ -31,9 +31,15 @@ Subcommands:
   a line protocol on stdin;
 - ``repro bench-serve`` — run the serving load generator (Zipf traffic +
   mid-run hot-swap) and write ``BENCH_serve.json``;
+- ``repro chaos-stream`` — run the streaming durability drill (kill -9
+  at every crash phase, torn journal writes, source I/O faults + file
+  rotation) and assert the recovery invariants end to end;
 - ``repro stream`` — replay a timestamped edge-arrival file through the
   streaming tier: ingest deltas, warm-start one training generation per
   batch, hot-swap each published artifact into a live in-process server,
+  with ``--follow`` to keep tailing the file live under a retry/backoff
+  supervisor and ``--resume`` to continue a crashed run from its
+  write-ahead journal + manifest,
   and answer membership-drift queries;
 - ``repro bench-stream`` — run the closed-loop streaming bench
   (warm-start vs cold retrain) and write ``BENCH_stream.json``;
@@ -309,15 +315,29 @@ def _cmd_bench_stream(args: argparse.Namespace) -> int:
 
 
 def _cmd_stream(args: argparse.Namespace) -> int:
-    """Replay a timestamped edge file through the streaming loop.
+    """Replay — or live-tail — a timestamped edge file through the
+    streaming loop.
 
-    The earliest ``--base-fraction`` of arrivals becomes the base graph;
-    generation 0 cold-starts on it. The remaining arrivals are split into
-    ``--generations`` batches, each ingested and warm-start retrained for
-    ``--iterations`` SG-MCMC steps, publishing a serving artifact that a
-    live in-process :class:`~repro.serve.server.ModelServer` hot-swaps.
-    ``--drift`` nodes get their cross-generation ``membership_drift``
-    answer (aligned community labels) printed as JSON at the end.
+    Replay (default): the earliest ``--base-fraction`` of arrivals
+    becomes the base graph; generation 0 cold-starts on it. The
+    remaining arrivals are split into ``--generations`` batches, each
+    ingested and warm-start retrained for ``--iterations`` SG-MCMC
+    steps, publishing a serving artifact that a live in-process
+    :class:`~repro.serve.server.ModelServer` hot-swaps. ``--drift``
+    nodes get their cross-generation ``membership_drift`` answer
+    (aligned community labels) printed as JSON at the end.
+
+    ``--follow``: keep tailing the file after the initial contents,
+    under a retry/backoff supervisor (``--poll-interval``,
+    ``--stall-deadline``), firing a generation when a trigger policy
+    says so (``--trigger-edges`` / ``--trigger-seconds`` /
+    ``--trigger-drift``; none armed = every non-empty poll). SIGTERM or
+    Ctrl-C drains: one final generation flushes the pending delta, the
+    journal compacts, and the manifest is left current.
+
+    ``--resume``: continue a crashed or stopped run from the workdir's
+    manifest + write-ahead journal instead of starting fresh (the file
+    is re-read from the top; the overlay dedups the overlap).
     """
     import json
 
@@ -325,53 +345,26 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     from repro.graph.graph import Graph
     from repro.serve.artifact import load_artifact
     from repro.serve.server import ModelServer
-    from repro.stream import FileTailSource, StreamTrainer
-
-    source = FileTailSource(args.edges, strict=False)
-    arrivals = source.read_all()
-    if source.n_malformed:
-        print(f"skipped {source.n_malformed} malformed line(s)", file=sys.stderr)
-    if len(arrivals) < 2:
-        print(f"{args.edges}: need at least 2 arrivals to replay",
-              file=sys.stderr)
-        return 2
-    arrivals.sort(key=lambda a: a.timestamp)
-
-    n_base = max(1, min(len(arrivals) - 1,
-                        int(len(arrivals) * args.base_fraction)))
-    base_pairs = np.array(
-        [(a.src, a.dst) for a in arrivals[:n_base]], dtype=np.int64
+    from repro.stream import (
+        FileTailSource,
+        FollowSupervisor,
+        ResumeError,
+        SourceStalled,
+        StreamTrainer,
+        TriggerPolicy,
+        follow_stream,
     )
-    lo = np.minimum(base_pairs[:, 0], base_pairs[:, 1])
-    hi = np.maximum(base_pairs[:, 0], base_pairs[:, 1])
-    keep = (lo != hi) & (lo >= 0)
-    if not keep.any():
-        print("base prefix has no usable edges (self-loops / bad ids only)",
-              file=sys.stderr)
-        return 2
-    edges = np.unique(np.stack([lo[keep], hi[keep]], axis=1), axis=0)
-    base = Graph(int(edges[:, 1].max()) + 1, edges)
 
-    config = AMMSBConfig(n_communities=args.communities, seed=args.seed)
     workdir = Path(args.workdir)
-    publish_path = (
-        Path(args.artifact) if args.artifact else workdir / "artifact.npz"
+    history_path = (
+        Path(args.history) if args.history else workdir / "history.npz"
     )
-    trainer = StreamTrainer(
-        base,
-        config,
-        workdir,
-        iterations_per_generation=args.iterations,
-        publish_path=publish_path,
-        engine="mp" if args.workers > 0 else "sequential",
-        n_workers=args.workers,
-    )
-    print(f"base {base}; {len(arrivals) - n_base} arrivals in "
-          f"{args.generations} generation batch(es)", file=sys.stderr)
 
-    def _report(rep) -> None:
+    def _report(rep, trigger: str = "") -> None:
         extra = ("" if rep.published
                  else f"  (publish skipped: {rep.publish_error})")
+        if trigger:
+            extra += f"  [trigger: {trigger}]"
         ing = rep.ingest
         print(f"generation {rep.generation}: N={rep.n_vertices} "
               f"E={rep.n_edges} (+{rep.n_new_nodes} nodes, "
@@ -380,16 +373,141 @@ def _cmd_stream(args: argparse.Namespace) -> int:
               f"perplexity {rep.perplexity:.4f} "
               f"in {rep.train_seconds:.2f}s{extra}")
 
-    _report(trainer.run_generation())
+    source = FileTailSource(args.edges, strict=False)
+
+    if args.resume:
+        try:
+            trainer = StreamTrainer.resume(
+                workdir,
+                iterations_per_generation=args.iterations,
+                engine="mp" if args.workers > 0 else "sequential",
+                n_workers=args.workers,
+                history_path=history_path,
+            )
+        except ResumeError as exc:
+            print(f"cannot resume: {exc}", file=sys.stderr)
+            return 2
+        print(f"resumed generation {trainer.generation} from {workdir} "
+              f"(journal seqno {trainer.journal.last_seqno}, "
+              f"{trainer.overlay.n_pending} pending edges)", file=sys.stderr)
+        arrivals = source.read_all()
+    else:
+        arrivals = source.read_all()
+        if len(arrivals) < 2:
+            print(f"{args.edges}: need at least 2 arrivals to replay",
+                  file=sys.stderr)
+            return 2
+        arrivals.sort(key=lambda a: a.timestamp)
+        # In follow mode everything already on disk is the base; the
+        # stream is what arrives after we start tailing.
+        base_fraction = 1.0 if args.follow else args.base_fraction
+        n_base = max(1, min(len(arrivals) - (0 if args.follow else 1),
+                            int(len(arrivals) * base_fraction)))
+        base_pairs = np.array(
+            [(a.src, a.dst) for a in arrivals[:n_base]], dtype=np.int64
+        )
+        lo = np.minimum(base_pairs[:, 0], base_pairs[:, 1])
+        hi = np.maximum(base_pairs[:, 0], base_pairs[:, 1])
+        keep = (lo != hi) & (lo >= 0)
+        if not keep.any():
+            print("base prefix has no usable edges (self-loops / bad ids only)",
+                  file=sys.stderr)
+            return 2
+        edges = np.unique(np.stack([lo[keep], hi[keep]], axis=1), axis=0)
+        base = Graph(int(edges[:, 1].max()) + 1, edges)
+
+        config = AMMSBConfig(n_communities=args.communities, seed=args.seed)
+        publish_path = (
+            Path(args.artifact) if args.artifact else workdir / "artifact.npz"
+        )
+        try:
+            trainer = StreamTrainer(
+                base,
+                config,
+                workdir,
+                iterations_per_generation=args.iterations,
+                publish_path=publish_path,
+                engine="mp" if args.workers > 0 else "sequential",
+                n_workers=args.workers,
+                history_path=history_path,
+            )
+        except ResumeError as exc:
+            print(f"{exc}\n(use --resume to continue it)", file=sys.stderr)
+            return 2
+        arrivals = arrivals[n_base:]
+        print(f"base {base}; {len(arrivals)} arrival(s) pending",
+              file=sys.stderr)
+        _report(trainer.run_generation())
+
+    if source.n_malformed:
+        print(f"skipped {source.n_malformed} malformed line(s)",
+              file=sys.stderr)
+
+    artifact_path = trainer.last_published or trainer.publish_path
+    if artifact_path is None or not Path(artifact_path).exists():
+        print(f"no serving artifact at {artifact_path}; "
+              f"run at least one generation first", file=sys.stderr)
+        return 2
     server = ModelServer(
-        load_artifact(publish_path), n_workers=0,
-        drift_window=args.drift_window,
+        load_artifact(artifact_path), n_workers=0,
+        drift_window=args.drift_window, history_path=history_path,
     )
+    status = 0
     try:
         trainer.publish_callback = lambda path, gen: server.publish_path(path)
-        rest = arrivals[n_base:]
-        for chunk in np.array_split(np.arange(len(rest)), args.generations):
-            _report(trainer.run_generation([rest[i] for i in chunk]))
+        if args.follow:
+            if arrivals:  # pre-follow backlog (resume re-read)
+                trainer.ingest(arrivals)
+            policy = TriggerPolicy(
+                max_edges=args.trigger_edges,
+                max_seconds=args.trigger_seconds,
+                drift_threshold=args.trigger_drift,
+            )
+            supervisor = FollowSupervisor(
+                source,
+                poll_interval_s=args.poll_interval,
+                stall_deadline_s=args.stall_deadline,
+                seed=args.seed,
+            )
+            armed = (
+                f"edges>={policy.max_edges} " if policy.max_edges else ""
+            ) + (
+                f"every {policy.max_seconds}s " if policy.max_seconds else ""
+            ) + (
+                f"drift>={policy.drift_threshold} "
+                if policy.drift_threshold else ""
+            )
+            print(f"following {args.edges} "
+                  f"(triggers: {armed.strip() or 'every non-empty poll'}); "
+                  f"SIGTERM/Ctrl-C drains and exits", file=sys.stderr)
+            try:
+                follow = follow_stream(
+                    trainer,
+                    supervisor,
+                    policy,
+                    max_generations=args.max_generations,
+                    max_wall_s=args.max_seconds,
+                    install_signal_handlers=True,
+                    on_generation=_report,
+                )
+            except SourceStalled as exc:
+                print(f"source stalled: {exc}", file=sys.stderr)
+                status = 3
+            else:
+                print(f"follow ended ({follow.stop_reason}): "
+                      f"{follow.polls} polls, {follow.arrivals} arrivals, "
+                      f"{len(follow.generations)} generation(s)"
+                      f"{', drained' if follow.drained else ''}",
+                      file=sys.stderr)
+        else:
+            if arrivals:
+                chunks = np.array_split(
+                    np.arange(len(arrivals)), args.generations
+                )
+                for chunk in chunks:
+                    _report(trainer.run_generation(
+                        [arrivals[i] for i in chunk]
+                    ))
         for node in args.drift:
             fut = server.membership_drift(int(node))
             server.process_once()
@@ -399,8 +517,31 @@ def _cmd_stream(args: argparse.Namespace) -> int:
                 print(f"drift {node}: {exc}", file=sys.stderr)
     finally:
         server.close()
+    n_quarantined = len(trainer.quarantine_log)
+    if n_quarantined:
+        print(f"quarantined: {n_quarantined} record(s) persisted in "
+              f"{trainer.quarantine_log.path}", file=sys.stderr)
     print(f"final artifact: {trainer.last_published} "
-          f"(checkpoints + CSR containers under {workdir})", file=sys.stderr)
+          f"(journal + manifest + checkpoints under {workdir}; "
+          f"resume with --resume)", file=sys.stderr)
+    return status
+
+
+def _cmd_chaos_stream(args: argparse.Namespace) -> int:
+    """Run the streaming chaos drill; exit 2 if any invariant fails."""
+    from repro.bench import chaosbench
+
+    report = chaosbench.run_chaos_stream(quick=args.quick, seed=args.seed)
+    for line in chaosbench.report_rows(report):
+        print(line)
+    if args.output:
+        chaosbench.save_report(report, args.output)
+        print(f"wrote {args.output}", file=sys.stderr)
+    if not report["passed"]:
+        failed = [k for k, ok in report["invariants"].items() if not ok]
+        print(f"FAIL: invariant(s) violated: {failed}", file=sys.stderr)
+        return 2
+    print("ok: all durability invariants held", file=sys.stderr)
     return 0
 
 
@@ -625,6 +766,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         default_deadline_ms=args.deadline_ms,
         shed_policy=shed_policy,
         drift_window=args.drift_window,
+        history_path=args.history,
     ) as server:
         print(
             f"serving {artifact.n_nodes} nodes x {artifact.n_communities} "
@@ -848,6 +990,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--slo-p99-ms", type=float, default=None,
                    help="enable SLO load shedding at this p99 target "
                         "(default: shedding off)")
+    p.add_argument("--history", default=None,
+                   help="membership-history checkpoint to reload/persist "
+                        "(survives server restarts; needs --drift-window)")
     p.add_argument("--drift-window", type=int, default=0,
                    help="retain this many generations of membership "
                         "history for 'drift' queries (default: off)")
@@ -882,6 +1027,32 @@ def build_parser() -> argparse.ArgumentParser:
                    help="mp-engine worker count (0 = in-process sequential)")
     p.add_argument("--drift-window", type=int, default=8,
                    help="generations of membership history retained")
+    p.add_argument("--follow", action="store_true",
+                   help="keep tailing the file live under the retry "
+                        "supervisor (SIGTERM/Ctrl-C drains and exits)")
+    p.add_argument("--resume", action="store_true",
+                   help="continue a crashed/stopped run from the workdir's "
+                        "manifest + write-ahead journal")
+    p.add_argument("--trigger-edges", type=int, default=None,
+                   help="follow: retrain once this many novel edges pend")
+    p.add_argument("--trigger-seconds", type=float, default=None,
+                   help="follow: retrain after this much wall time with "
+                        "anything pending")
+    p.add_argument("--trigger-drift", type=float, default=None,
+                   help="follow: retrain once pending edges exceed this "
+                        "fraction of the base graph's edges")
+    p.add_argument("--poll-interval", type=float, default=0.5,
+                   help="follow: sleep between empty polls (seconds)")
+    p.add_argument("--stall-deadline", type=float, default=30.0,
+                   help="follow: give up after the source has been "
+                        "unreadable this long (seconds)")
+    p.add_argument("--max-generations", type=int, default=None,
+                   help="follow: stop after this many generations")
+    p.add_argument("--max-seconds", type=float, default=None,
+                   help="follow: stop after this much wall time")
+    p.add_argument("--history", default=None,
+                   help="membership-history checkpoint path "
+                        "(default: WORKDIR/history.npz)")
     p.add_argument("--drift", nargs="*", type=int, default=[],
                    help="nodes to print membership_drift JSON for at the end")
     p.add_argument("--seed", type=int, default=0)
@@ -913,6 +1084,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--rdma-failure-rate", type=float, default=0.05)
     p.add_argument("--heartbeat-timeout", type=float, default=15.0)
     p.set_defaults(func=_cmd_chaos)
+
+    p = sub.add_parser("chaos-stream",
+                       help="run the streaming durability chaos drill")
+    p.add_argument("--quick", action="store_true",
+                   help="smaller graph (CI-sized; same fault coverage)")
+    p.add_argument("--seed", type=int, default=2026)
+    p.add_argument("--output", "-o", default=None,
+                   help="also write the drill report as JSON")
+    p.set_defaults(func=_cmd_chaos_stream)
 
     p = sub.add_parser("chaos-serve",
                        help="run the serving-tier chaos drill")

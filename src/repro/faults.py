@@ -23,10 +23,15 @@ distributed layer consumes:
 
 The streaming tier has its own fault domain too (:class:`StreamFaultPlan`):
 malformed and out-of-order edge arrivals mangled into the stream before
-ingestion, and mid-generation publish failures. The consumers
-(:class:`repro.stream.trainer.StreamTrainer`,
-:class:`repro.stream.delta.DeltaOverlay`) quarantine bad records and keep
-the last-known-good artifact serving — see DESIGN.md §11.
+ingestion, mid-generation publish failures, injected process kills at
+the trainer's durable-write phase boundaries (:data:`CRASH_PHASES`),
+torn journal frame writes, and transient source I/O errors. The
+consumers (:class:`repro.stream.trainer.StreamTrainer`,
+:class:`repro.stream.journal.IngestJournal`,
+:class:`repro.stream.follow.FollowSupervisor`,
+:class:`repro.stream.delta.DeltaOverlay`) quarantine bad records,
+recover from the journal + manifest, and keep the last-known-good
+artifact serving — see DESIGN.md §11.
 
 The serving tier has its own fault domain (:class:`ServeFaultPlan`):
 artifact corruption/truncation on disk, worker-*thread* crashes and
@@ -94,6 +99,22 @@ class WorkerCrashed(FaultError):
         self.stalled = stalled
         kind = "stalled past heartbeat deadline" if stalled else "crashed"
         super().__init__(f"worker(s) {list(self.workers)} {kind}")
+
+
+class InjectedCrash(FaultError):
+    """A scheduled process kill fired (stands in for ``kill -9``).
+
+    Raised by the streaming tier's durability drills at an injected
+    crash point: the process state past this point is considered gone,
+    and recovery must come from what was already durable on disk
+    (journal segments, manifest, checkpoints). Tests and the
+    ``chaos-stream`` drill catch it at the top level and then resume
+    from disk, exactly as a supervisor restarting a dead process would.
+    """
+
+    def __init__(self, where: str) -> None:
+        self.where = where
+        super().__init__(f"injected crash at {where}")
 
 
 # -- fault event types ------------------------------------------------------
@@ -605,6 +626,80 @@ class PublishFailure:
             raise ValueError("generation must be >= 0")
 
 
+#: the trainer's durable-generation phases at which a crash can be injected,
+#: in execution order (see repro.stream.trainer.StreamTrainer.run_generation).
+CRASH_PHASES = (
+    "post-journal-append",
+    "mid-compaction",
+    "post-checkpoint-pre-publish",
+    "post-publish-pre-manifest",
+)
+
+
+@dataclass(frozen=True)
+class TrainerCrash:
+    """The streaming trainer dies (:class:`InjectedCrash`) when generation
+    ``generation`` reaches phase ``phase``.
+
+    Phases are the durable-write boundaries of
+    :meth:`~repro.stream.trainer.StreamTrainer.run_generation`; killing at
+    each one exercises a distinct recovery path (see DESIGN.md §11
+    recovery matrix). ``mid-compaction`` fires *inside*
+    :meth:`~repro.stream.journal.IngestJournal.compact`, after the active
+    segment is sealed but before obsolete segments are unlinked.
+    """
+
+    phase: str
+    generation: int
+
+    def __post_init__(self) -> None:
+        if self.phase not in CRASH_PHASES:
+            raise ValueError(f"phase must be one of {CRASH_PHASES}")
+        if self.generation < 0:
+            raise ValueError("generation must be >= 0")
+
+
+@dataclass(frozen=True)
+class JournalTear:
+    """The journal's ``append``-th frame write is torn: a partial frame
+    reaches the segment file (no fsync) and the process dies
+    (:class:`InjectedCrash`) before the append is acknowledged.
+
+    Models a kill mid-``write(2)``. The torn tail must be detected and
+    truncated on the next :class:`~repro.stream.journal.IngestJournal`
+    open; because the append was never acknowledged, the caller re-feeds
+    the batch and overlay dedup keeps the semantics exactly-once.
+    """
+
+    append: int
+
+    def __post_init__(self) -> None:
+        if self.append < 0:
+            raise ValueError("append must be >= 0")
+
+
+@dataclass(frozen=True)
+class SourceFault:
+    """Polls ``poll`` .. ``poll + errors - 1`` of the live source raise
+    ``OSError`` (transient I/O failure; poll counters are the follow
+    supervisor's attempt indices). The supervisor must ride it out with
+    jittered exponential backoff, or raise a typed ``SourceStalled``
+    once the stall deadline expires.
+    """
+
+    poll: int
+    errors: int = 1
+
+    def __post_init__(self) -> None:
+        if self.poll < 0:
+            raise ValueError("poll must be >= 0")
+        if self.errors < 1:
+            raise ValueError("errors must be >= 1")
+
+    def hits(self, poll: int) -> bool:
+        return self.poll <= poll < self.poll + self.errors
+
+
 class StreamFaultPlan:
     """A seeded, deterministic schedule of streaming-tier faults.
 
@@ -627,6 +722,12 @@ class StreamFaultPlan:
         out_of_order_rate: i.i.d. probability that an arrival's timestamp
             is pushed far into the past.
         publish_failures: generations whose publish is suppressed.
+        trainer_crashes: injected process kills at durable-write phase
+            boundaries of the generation loop (see :data:`CRASH_PHASES`).
+        journal_tears: torn journal frame writes, indexed by the
+            journal's lifetime append counter.
+        source_faults: transient ``OSError`` windows on live-source
+            polls, indexed by the follow supervisor's poll counter.
     """
 
     def __init__(
@@ -635,6 +736,9 @@ class StreamFaultPlan:
         malformed_rate: float = 0.0,
         out_of_order_rate: float = 0.0,
         publish_failures: Iterable[PublishFailure] = (),
+        trainer_crashes: Iterable[TrainerCrash] = (),
+        journal_tears: Iterable[JournalTear] = (),
+        source_faults: Iterable[SourceFault] = (),
     ) -> None:
         if not 0.0 <= malformed_rate < 1.0:
             raise ValueError("malformed_rate must be in [0, 1)")
@@ -644,6 +748,9 @@ class StreamFaultPlan:
         self.malformed_rate = float(malformed_rate)
         self.out_of_order_rate = float(out_of_order_rate)
         self.publish_failures = tuple(publish_failures)
+        self.trainer_crashes = tuple(trainer_crashes)
+        self.journal_tears = tuple(journal_tears)
+        self.source_faults = tuple(source_faults)
         self._rng = np.random.default_rng(self.seed + 0x57E4)
         self.mangle_draws = 0
 
@@ -655,6 +762,9 @@ class StreamFaultPlan:
             self.malformed_rate > 0.0
             or self.out_of_order_rate > 0.0
             or self.publish_failures
+            or self.trainer_crashes
+            or self.journal_tears
+            or self.source_faults
         )
 
     # -- arrival mangling ----------------------------------------------------
@@ -698,6 +808,23 @@ class StreamFaultPlan:
         """Is the publish for ``generation`` scheduled to fail?"""
         return any(f.generation == generation for f in self.publish_failures)
 
+    # -- durability faults ---------------------------------------------------
+
+    def crash_due(self, phase: str, generation: int) -> bool:
+        """Should the trainer die at ``phase`` of ``generation``?"""
+        return any(
+            c.phase == phase and c.generation == generation
+            for c in self.trainer_crashes
+        )
+
+    def journal_tear_due(self, append_index: int) -> bool:
+        """Is the journal's ``append_index``-th frame write torn?"""
+        return any(t.append == append_index for t in self.journal_tears)
+
+    def source_io_fails(self, poll_index: int) -> bool:
+        """Does the live source's ``poll_index``-th poll raise OSError?"""
+        return any(f.hits(poll_index) for f in self.source_faults)
+
     # -- display ------------------------------------------------------------
 
     def describe(self) -> str:
@@ -711,6 +838,19 @@ class StreamFaultPlan:
         if self.publish_failures:
             gens = ",".join(str(f.generation) for f in self.publish_failures)
             parts.append(f"publish failure(s) @ gen {gens}")
+        if self.trainer_crashes:
+            where = ",".join(
+                f"{c.phase}@g{c.generation}" for c in self.trainer_crashes
+            )
+            parts.append(f"trainer crash(es) [{where}]")
+        if self.journal_tears:
+            idx = ",".join(str(t.append) for t in self.journal_tears)
+            parts.append(f"journal tear(s) @ append {idx}")
+        if self.source_faults:
+            polls = ",".join(
+                f"{f.poll}x{f.errors}" for f in self.source_faults
+            )
+            parts.append(f"source fault(s) @ poll {polls}")
         return "StreamFaultPlan(" + ", ".join(parts) + ")"
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -72,6 +72,7 @@ import time
 from collections import OrderedDict, deque
 from concurrent.futures import Future, InvalidStateError
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Optional
 
 import numpy as np
@@ -223,6 +224,13 @@ class ModelServer:
             history (:class:`repro.stream.tracking.MembershipHistory`)
             survives hot-swaps: each successful publish is aligned and
             recorded, so drift answers span artifact generations.
+        history_path: optional checkpoint file for the drift history.
+            When it exists at startup the history is *reloaded* from it
+            — drift answers survive a server restart, staying in the
+            same canonical label space — and every subsequent record is
+            checkpointed back atomically. The startup artifact is only
+            recorded if the reloaded history doesn't already end on it
+            (matched by content version).
     """
 
     def __init__(
@@ -239,6 +247,7 @@ class ModelServer:
         stall_timeout_s: float = 5.0,
         watchdog_interval_s: float = 0.25,
         drift_window: int = 0,
+        history_path: Optional[PathLike] = None,
     ) -> None:
         if n_workers < 0 or max_batch < 1 or queue_limit < 1 or cache_size < 0:
             raise ValueError("invalid server sizing parameter")
@@ -270,13 +279,21 @@ class ModelServer:
         self._registry = ArtifactRegistry()
         self._registry.record(0, artifact)
         self._history = None
+        self._history_path = Path(history_path) if history_path else None
         if drift_window:
             # Lazy import: serve must stay importable without the
             # streaming tier (and vice versa — stream imports serve).
             from repro.stream.tracking import MembershipHistory
 
-            self._history = MembershipHistory(window=int(drift_window))
-            self._history.record(artifact, 0)
+            if self._history_path is not None and self._history_path.exists():
+                self._history = MembershipHistory.load(self._history_path)
+                if self._history.last_version != artifact.version:
+                    self._history.record_next(artifact)
+                    self._save_history()
+            else:
+                self._history = MembershipHistory(window=int(drift_window))
+                self._history.record(artifact, 0)
+                self._save_history()
         self._stopped = False
         self.n_workers = int(n_workers)
         self.metrics = ServerMetrics(
@@ -356,6 +373,16 @@ class ModelServer:
 
     # -- artifact hot-swap ----------------------------------------------------
 
+    def _save_history(self) -> None:
+        """Checkpoint the drift history beside the artifact (atomic; a
+        failed save degrades durability, never serving)."""
+        if self._history is None or self._history_path is None:
+            return
+        try:
+            self._history.save(self._history_path)
+        except OSError:  # pragma: no cover - disk-full etc.
+            pass
+
     @property
     def artifact(self) -> ModelArtifact:
         return self._artifact
@@ -393,7 +420,12 @@ class ModelServer:
                 if self._history is not None:
                     # Recorded under the lock so history generations stay
                     # strictly increasing across concurrent publishers.
-                    self._history.record(artifact, gen)
+                    # record_next (not the server's gen counter) keeps a
+                    # history reloaded from disk monotone: a restarted
+                    # server's counter restarts at 0, the history's
+                    # doesn't.
+                    self._history.record_next(artifact)
+                    self._save_history()
             purged = self._purge_stale_cache_locked()
         if purged:
             self.metrics.record_stale_eviction(purged)

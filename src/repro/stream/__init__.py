@@ -3,10 +3,14 @@
 Closes the loop from edge arrival to served answer (DESIGN.md §11):
 :mod:`~repro.stream.source` replays arrivals, :mod:`~repro.stream.delta`
 buffers them over the immutable CSR base and compacts, :mod:`~repro
-.stream.trainer` warm-starts a generation of SG-MCMC and publishes a
-serving artifact, and :mod:`~repro.stream.tracking` aligns community
-labels across generations so the serving tier can answer
-``membership_drift`` queries.
+.stream.journal` makes every accepted arrival durable *before* it
+mutates the overlay (write-ahead), :mod:`~repro.stream.trainer`
+warm-starts a generation of SG-MCMC, publishes a serving artifact, and
+records a generation manifest (crash → :meth:`~repro.stream.trainer
+.StreamTrainer.resume`), :mod:`~repro.stream.follow` supervises a live
+tail for deployment (``repro stream --follow``), and :mod:`~repro
+.stream.tracking` aligns community labels across generations so the
+serving tier can answer ``membership_drift`` queries.
 """
 
 from repro.stream.delta import (
@@ -16,6 +20,19 @@ from repro.stream.delta import (
     MalformedArrival,
     StreamError,
 )
+from repro.stream.follow import (
+    FollowReport,
+    FollowSupervisor,
+    SourceStalled,
+    TriggerPolicy,
+    follow_stream,
+)
+from repro.stream.journal import (
+    IngestJournal,
+    JournalCorrupt,
+    JournalEntry,
+    QuarantineLog,
+)
 from repro.stream.source import (
     EdgeArrival,
     FileTailSource,
@@ -24,7 +41,7 @@ from repro.stream.source import (
     write_arrival_file,
 )
 from repro.stream.tracking import DriftEvent, MembershipHistory
-from repro.stream.trainer import GenerationReport, StreamTrainer
+from repro.stream.trainer import GenerationReport, ResumeError, StreamTrainer
 
 __all__ = [
     "DeltaOverflow",
@@ -32,13 +49,23 @@ __all__ = [
     "DriftEvent",
     "EdgeArrival",
     "FileTailSource",
+    "FollowReport",
+    "FollowSupervisor",
     "GenerationReport",
+    "IngestJournal",
     "IngestReport",
+    "JournalCorrupt",
+    "JournalEntry",
     "MalformedArrival",
     "MembershipHistory",
+    "QuarantineLog",
+    "ResumeError",
+    "SourceStalled",
     "StreamError",
     "StreamTrainer",
     "SyntheticArrivalSource",
+    "TriggerPolicy",
     "arrivals_to_arrays",
+    "follow_stream",
     "write_arrival_file",
 ]

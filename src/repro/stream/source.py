@@ -74,12 +74,14 @@ class FileTailSource:
 
     Attributes:
         n_malformed: lines skipped so far (``strict=False`` only).
+        n_rotations: truncation/rotation resets detected so far.
     """
 
     def __init__(self, path: PathLike, strict: bool = True) -> None:
         self.path = Path(path)
         self.strict = strict
         self.n_malformed = 0
+        self.n_rotations = 0
         self._offset = 0
         self._n_cols: Optional[int] = None
         self._line_no = 0  # data lines seen; synthesizes 2-col timestamps
@@ -91,14 +93,43 @@ class FileTailSource:
         self._line_no = 0
         self.n_malformed = 0
 
+    @property
+    def offset(self) -> int:
+        """Byte offset of the next unread line (resume token)."""
+        return self._offset
+
+    def seek(self, offset: int) -> None:
+        """Position the tail at a byte offset (resume from a manifest).
+
+        The column layout is re-sniffed from the next data line; seeking
+        backwards simply re-reads (downstream overlay dedup makes the
+        overlap idempotent).
+        """
+        if offset < 0:
+            raise ValueError("offset must be >= 0")
+        self._offset = int(offset)
+        self._n_cols = None
+
     def poll(self) -> list[EdgeArrival]:
         """Return arrivals appended since the previous poll.
 
         Only byte-complete lines are consumed: a trailing line without
         its newline stays unread until a later poll sees the rest of it,
         so a writer mid-``write()`` never produces a torn record.
+
+        A file that *shrank* below the current offset was truncated or
+        rotated in place; tailing from the stale offset would read
+        garbage mid-line, so the source resets to the top of the new
+        file (counted in ``n_rotations``) and re-sniffs the column
+        layout. A missing file raises ``FileNotFoundError`` — transient
+        I/O is the follow supervisor's problem, not the source's.
         """
         with open(self.path, "rb") as fh:
+            size = fh.seek(0, 2)
+            if size < self._offset:
+                self._offset = 0
+                self._n_cols = None
+                self.n_rotations += 1
             fh.seek(self._offset)
             chunk = fh.read()
         if not chunk:

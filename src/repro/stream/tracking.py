@@ -28,15 +28,24 @@ long the stream runs. It is the storage behind the serving tier's
 
 from __future__ import annotations
 
+import dataclasses
+import json
 import threading
+import zipfile
 from collections import deque
 from dataclasses import dataclass
-from typing import Optional
+from pathlib import Path
+from typing import Optional, Union
 
 import numpy as np
 
 from repro.core.estimation import align_communities
 from repro.serve.artifact import DEFAULT_TOP_K, ModelArtifact, _top_communities
+from repro.stream.delta import StreamError
+
+PathLike = Union[str, Path]
+
+HISTORY_FORMAT_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -107,6 +116,10 @@ class MembershipHistory:
         self._ref_pi: Optional[np.ndarray] = None
         self._ref_ids: Optional[np.ndarray] = None
         self._first_seen: dict[int, int] = {}
+        #: content version of the last recorded artifact — lets a
+        #: restarted server skip re-recording the artifact the persisted
+        #: history already ends on.
+        self.last_version: Optional[str] = None
 
     # -- recording -----------------------------------------------------------
 
@@ -185,7 +198,19 @@ class MembershipHistory:
                 self._first_seen.setdefault(int(v), int(generation))
             self._ref_pi = aligned
             self._ref_ids = node_ids
+            self.last_version = artifact.version
             return list(events)
+
+    def record_next(self, artifact: ModelArtifact) -> list[DriftEvent]:
+        """Record at the next generation index after the newest retained.
+
+        The restart-safe entry point: a reloaded history keeps its own
+        generation numbering (a fresh server's counter would collide
+        with :meth:`record`'s strictly-increasing check).
+        """
+        with self._lock:
+            nxt = self._ring[-1].generation + 1 if self._ring else 0
+        return self.record(artifact, nxt)
 
     def _node_events(
         self,
@@ -299,3 +324,107 @@ class MembershipHistory:
             if snap.generation == generation:
                 return snap
         raise KeyError(f"generation {generation} not retained")
+
+    # -- persistence ---------------------------------------------------------
+
+    def save(self, path: PathLike) -> Path:
+        """Atomically checkpoint the full history (ring, events, alignment
+        reference, first-seen map) to an ``.npz`` beside the artifact.
+
+        Uses the tmp+fsync+replace idiom, so a crash mid-save leaves the
+        previous checkpoint intact. :meth:`load` restores a history that
+        continues exactly where this one stopped — including the aligned
+        label space, so drift stays in canonical generation-0 labels
+        across a server restart.
+        """
+        from repro.core.checkpoint import _atomic_savez
+
+        with self._lock:
+            meta = {
+                "version": HISTORY_FORMAT_VERSION,
+                "window": self.window,
+                "top_k": self.top_k,
+                "event_threshold": self.event_threshold,
+                "max_events_per_generation": self.max_events_per_generation,
+                "generations": [s.generation for s in self._ring],
+                "events": [
+                    [dataclasses.asdict(e) for e in evs] for evs in self._events
+                ],
+                "last_version": self.last_version,
+            }
+            arrays: dict[str, np.ndarray] = {}
+            for i, s in enumerate(self._ring):
+                arrays[f"s{i}_node_ids"] = s.node_ids
+                arrays[f"s{i}_tops"] = s.top_communities
+                arrays[f"s{i}_weights"] = s.top_weights
+                arrays[f"s{i}_drift"] = s.community_drift
+                arrays[f"s{i}_perm"] = s.permutation
+            if self._ref_pi is not None:
+                arrays["ref_pi"] = self._ref_pi
+                arrays["ref_ids"] = self._ref_ids
+            fs = (
+                np.array(sorted(self._first_seen.items()), dtype=np.int64)
+                if self._first_seen
+                else np.zeros((0, 2), dtype=np.int64)
+            )
+            arrays["first_seen"] = fs
+        return _atomic_savez(path, _meta=json.dumps(meta), **arrays)
+
+    @classmethod
+    def load(cls, path: PathLike) -> "MembershipHistory":
+        """Restore a history checkpointed by :meth:`save` (typed errors)."""
+        p = Path(path)
+        if not p.exists():
+            raise StreamError(f"membership history {p}: file does not exist")
+        try:
+            data = np.load(str(p), allow_pickle=False)
+        except (zipfile.BadZipFile, OSError, ValueError) as exc:
+            raise StreamError(
+                f"membership history {p}: corrupt archive ({exc})"
+            ) from exc
+        with data:
+            try:
+                meta = json.loads(str(data["_meta"]))
+            except (KeyError, json.JSONDecodeError, ValueError) as exc:
+                raise StreamError(
+                    f"membership history {p}: unreadable metadata ({exc})"
+                ) from exc
+            if meta.get("version") != HISTORY_FORMAT_VERSION:
+                raise StreamError(
+                    f"membership history {p}: unsupported version"
+                    f" {meta.get('version')!r}"
+                )
+            try:
+                hist = cls(
+                    window=int(meta["window"]),
+                    top_k=int(meta["top_k"]),
+                    event_threshold=float(meta["event_threshold"]),
+                    max_events_per_generation=int(
+                        meta["max_events_per_generation"]
+                    ),
+                )
+                for i, gen in enumerate(meta["generations"]):
+                    hist._ring.append(
+                        _Snapshot(
+                            generation=int(gen),
+                            node_ids=data[f"s{i}_node_ids"].copy(),
+                            top_communities=data[f"s{i}_tops"].copy(),
+                            top_weights=data[f"s{i}_weights"].copy(),
+                            community_drift=data[f"s{i}_drift"].copy(),
+                            permutation=data[f"s{i}_perm"].copy(),
+                        )
+                    )
+                for evs in meta["events"]:
+                    hist._events.append([DriftEvent(**e) for e in evs])
+                if "ref_pi" in data:
+                    hist._ref_pi = data["ref_pi"].copy()
+                    hist._ref_ids = data["ref_ids"].copy()
+                hist._first_seen = {
+                    int(a): int(b) for a, b in data["first_seen"]
+                }
+                hist.last_version = meta.get("last_version")
+            except (KeyError, TypeError, ValueError) as exc:
+                raise StreamError(
+                    f"membership history {p}: invalid contents ({exc})"
+                ) from exc
+        return hist

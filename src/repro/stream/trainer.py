@@ -31,10 +31,28 @@ loop. Each :meth:`~StreamTrainer.run_generation`:
 The trainer never mutates a served artifact in place: the publish path
 is rewritten atomically, and a ``publish_callback`` lets a live
 :class:`~repro.serve.server.ModelServer` hot-swap it per generation.
+
+Durability (DESIGN.md §11): every arrival batch is journaled to a
+write-ahead :class:`~repro.stream.journal.IngestJournal` under the
+workdir *before* it touches the overlay, quarantined records are
+mirrored to a :class:`~repro.stream.journal.QuarantineLog` sidecar, and
+each generation ends by atomically rewriting ``manifest.json`` — the
+single durable record of (next generation, cumulative iteration clock,
+digested journal seqno, checkpoint/graph/artifact paths). Journal
+segments covered by the manifest are garbage-collected only *after* the
+manifest hits disk, so :meth:`StreamTrainer.resume` can always rebuild
+the exact pre-crash overlay: load the manifest's checkpoint and graph,
+then replay the journal suffix past the digested seqno. A kill at any
+point between ingest and manifest loses nothing and duplicates nothing
+(overlay dedup absorbs at-least-once replay) — pinned by the
+kill-at-every-phase tests and the ``repro chaos-stream`` drill.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import tempfile
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -49,12 +67,57 @@ from repro.core.perplexity import PerplexityEstimator
 from repro.core.sampler import AMMSBSampler
 from repro.core.state import ModelState, init_state
 from repro.graph.graph import Graph
+from repro.graph.io import load_csr, save_csr
 from repro.graph.split import HeldoutSplit, split_heldout
 from repro.serve.artifact import export_artifact
-from repro.stream.delta import DeltaOverlay, IngestReport
+from repro.stream.delta import DeltaOverlay, IngestReport, StreamError
+from repro.stream.journal import IngestJournal, QuarantineLog
 from repro.stream.source import EdgeArrival, arrivals_to_arrays
 
 PathLike = Union[str, Path]
+
+MANIFEST_NAME = "manifest.json"
+MANIFEST_VERSION = 1
+
+
+class ResumeError(StreamError):
+    """A stream workdir cannot be resumed (or a fresh start would clobber
+    one that could be)."""
+
+    def __init__(self, path: PathLike, reason: str) -> None:
+        self.path = Path(path)
+        self.reason = reason
+        super().__init__(f"stream workdir {self.path}: {reason}")
+
+
+def _atomic_write_json(path: Path, obj: dict) -> None:
+    """tmp + fsync + ``os.replace`` + dir fsync — same idiom as
+    :func:`repro.core.checkpoint._atomic_savez`, for small JSON records."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        prefix=f".{path.name}.", suffix=".tmp", dir=path.parent
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            json.dump(obj, fh, indent=2)
+            fh.write("\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    try:
+        dir_fd = os.open(path.parent, os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+    except OSError:  # pragma: no cover - platform without dir fsync
+        pass
 
 
 @dataclass(frozen=True)
@@ -97,6 +160,18 @@ class StreamTrainer:
         faults: optional :class:`repro.faults.StreamFaultPlan`.
         max_pending / max_new_nodes: overlay bounds (see
             :class:`~repro.stream.delta.DeltaOverlay`).
+        fsync_batch: journal fsync cadence (1 = every append; the only
+            setting with zero acknowledged-loss window — see
+            :class:`~repro.stream.journal.IngestJournal`).
+        journal_segment_bytes: journal segment roll size.
+        history_path: where the serving-side ``MembershipHistory`` is
+            checkpointed (recorded in the manifest so a restarted server
+            finds it; the trainer itself never writes it).
+
+    A fresh trainer refuses a workdir that already holds a stream
+    manifest — that is a crashed or finished run, and silently starting
+    over would orphan its journal. Use :meth:`resume` (or point the
+    trainer at a clean directory).
     """
 
     def __init__(
@@ -114,6 +189,10 @@ class StreamTrainer:
         faults=None,
         max_pending: int = 1 << 20,
         max_new_nodes: Optional[int] = None,
+        fsync_batch: int = 1,
+        journal_segment_bytes: int = 1 << 22,
+        history_path: Optional[PathLike] = None,
+        _resuming: bool = False,
     ) -> None:
         if engine not in ("sequential", "mp"):
             raise ValueError(f"unknown engine {engine!r}")
@@ -122,6 +201,12 @@ class StreamTrainer:
         self.config = config
         self.workdir = Path(workdir)
         self.workdir.mkdir(parents=True, exist_ok=True)
+        if not _resuming and (self.workdir / MANIFEST_NAME).exists():
+            raise ResumeError(
+                self.workdir,
+                "already holds a stream manifest; use StreamTrainer.resume()"
+                " or a clean workdir",
+            )
         self.iterations_per_generation = int(iterations_per_generation)
         self.heldout_fraction = float(heldout_fraction)
         self.heldout_max_links = heldout_max_links
@@ -138,6 +223,25 @@ class StreamTrainer:
         self.generation = 0  # next generation index
         self.reports: list[GenerationReport] = []
         self.last_published: Optional[Path] = None
+        self.history_path = Path(history_path) if history_path else None
+        self.journal = IngestJournal(
+            self.workdir / "journal",
+            max_segment_bytes=journal_segment_bytes,
+            fsync_batch=fsync_batch,
+            faults=self.faults,
+        )
+        self.quarantine_log = QuarantineLog(self.workdir / "quarantine.jsonl")
+        #: journal seqno covered by the current base graph (manifest field).
+        self.digested_seqno = self.journal.last_seqno if _resuming else -1
+        self._checkpoint_path: Optional[Path] = None
+        self._graph_path: Optional[Path] = None
+        if not _resuming:
+            # Persist generation -1's ground truth so a crash before the
+            # first generation completes is still resumable: the base
+            # graph as a CSR container, plus an initial manifest.
+            self._graph_path = self.workdir / "base.csr"
+            save_csr(base_graph, self._graph_path)
+            self._write_manifest()
 
     @classmethod
     def from_checkpoint(
@@ -163,21 +267,191 @@ class StreamTrainer:
         trainer = cls(base_graph, config or ckpt_config, workdir, **kwargs)
         trainer.state = state
         trainer.iteration = int(iteration)
+        # Re-record the warm start so a pre-generation-0 crash resumes
+        # from the batch checkpoint instead of a cold start.
+        trainer._checkpoint_path = Path(checkpoint_path)
+        trainer._write_manifest()
+        return trainer
+
+    # -- durable manifest ----------------------------------------------------
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.workdir / MANIFEST_NAME
+
+    def _rel_or_abs(self, path: Optional[Path]) -> Optional[str]:
+        if path is None:
+            return None
+        p = Path(path)
+        try:
+            return str(p.relative_to(self.workdir))
+        except ValueError:
+            return str(p.resolve())
+
+    def _write_manifest(self) -> None:
+        """Atomically record the durable generation frontier.
+
+        Written *last* in every generation (after checkpoint + publish),
+        and always *before* journal GC: the manifest's
+        ``digested_seqno`` is the promise that every journal frame at or
+        below it is already inside ``graph_path``.
+        """
+        _atomic_write_json(
+            self.manifest_path,
+            {
+                "version": MANIFEST_VERSION,
+                "generation": self.generation,
+                "iteration": self.iteration,
+                "digested_seqno": self.digested_seqno,
+                "graph_path": self._rel_or_abs(self._graph_path),
+                "checkpoint_path": self._rel_or_abs(self._checkpoint_path),
+                "artifact_path": self._rel_or_abs(self.last_published),
+                "history_path": self._rel_or_abs(self.history_path),
+                "publish_path": self._rel_or_abs(self.publish_path),
+            },
+        )
+
+    @staticmethod
+    def read_manifest(workdir: PathLike) -> dict:
+        """Read and validate a stream workdir's manifest (typed errors)."""
+        path = Path(workdir) / MANIFEST_NAME
+        if not path.exists():
+            raise ResumeError(workdir, "no manifest.json (nothing to resume)")
+        try:
+            manifest = json.loads(path.read_text(encoding="utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError, OSError) as exc:
+            raise ResumeError(workdir, f"unreadable manifest ({exc})") from exc
+        if not isinstance(manifest, dict):
+            raise ResumeError(workdir, "manifest is not an object")
+        if manifest.get("version") != MANIFEST_VERSION:
+            raise ResumeError(
+                workdir,
+                f"unsupported manifest version {manifest.get('version')!r}",
+            )
+        for key in ("generation", "iteration", "digested_seqno", "graph_path"):
+            if key not in manifest:
+                raise ResumeError(workdir, f"manifest missing {key!r}")
+        if manifest["graph_path"] is None:
+            raise ResumeError(workdir, "manifest records no graph")
+        return manifest
+
+    @classmethod
+    def resume(
+        cls,
+        workdir: PathLike,
+        config: Optional[AMMSBConfig] = None,
+        **kwargs,
+    ) -> "StreamTrainer":
+        """Reconstruct a trainer from a (possibly crashed) stream workdir.
+
+        Rebuilds exactly the durable frontier: the manifest's graph
+        becomes the overlay base, its checkpoint (if any) restores the
+        warm-start state and cumulative iteration clock, and the journal
+        suffix past ``digested_seqno`` is replayed through the overlay —
+        so edges that were acknowledged but not yet digested are pending
+        again, exactly once. Quarantined records re-derived during
+        replay are reconciled against the sidecar (no duplicate lines).
+
+        ``kwargs`` are the usual constructor arguments (publish path,
+        engine, faults, ...); ``config`` defaults to the checkpoint's.
+        """
+        workdir = Path(workdir)
+        manifest = cls.read_manifest(workdir)
+
+        def _resolve(rec: Optional[str]) -> Optional[Path]:
+            if rec is None:
+                return None
+            p = Path(rec)
+            return p if p.is_absolute() else workdir / p
+
+        graph_path = _resolve(manifest["graph_path"])
+        try:
+            base_graph = load_csr(graph_path)
+        except Exception as exc:
+            raise ResumeError(
+                workdir, f"cannot load digested graph {graph_path} ({exc})"
+            ) from exc
+
+        state = None
+        iteration = int(manifest["iteration"])
+        ckpt_path = _resolve(manifest.get("checkpoint_path"))
+        ckpt_config = None
+        if ckpt_path is not None:
+            state, iteration, ckpt_config = load_state_checkpoint(ckpt_path)
+        if config is None:
+            config = ckpt_config
+        if config is None:
+            raise ResumeError(
+                workdir,
+                "no checkpoint recorded yet — pass the run's config to resume()",
+            )
+        if "publish_path" not in kwargs and manifest.get("publish_path"):
+            kwargs["publish_path"] = _resolve(manifest["publish_path"])
+        if "history_path" not in kwargs and manifest.get("history_path"):
+            kwargs["history_path"] = _resolve(manifest["history_path"])
+
+        trainer = cls(base_graph, config, workdir, _resuming=True, **kwargs)
+        trainer.state = state
+        trainer.iteration = iteration
+        trainer.generation = int(manifest["generation"])
+        trainer.digested_seqno = int(manifest["digested_seqno"])
+        trainer._graph_path = graph_path
+        trainer._checkpoint_path = ckpt_path
+        artifact = _resolve(manifest.get("artifact_path"))
+        trainer.last_published = artifact
+
+        # Replay the un-digested journal suffix. Already-persisted
+        # quarantine lines are recognized by their seqno tag so replay
+        # never duplicates the sidecar.
+        persisted = trainer.quarantine_log.read()
+        last_q = max((int(r.get("seqno", -1)) for r in persisted), default=-1)
+        n_at_last = sum(1 for r in persisted if int(r.get("seqno", -1)) == last_q)
+        for entry in trainer.journal.replay(after_seqno=trainer.digested_seqno):
+            before = len(trainer.overlay.quarantined)
+            trainer.overlay.ingest_pairs(
+                entry.pairs, timestamps=entry.timestamps, strict=False
+            )
+            fresh = trainer.overlay.quarantined[before:]
+            if entry.seqno < last_q:
+                continue
+            if entry.seqno == last_q:
+                fresh = fresh[n_at_last:]
+            for reason, record in fresh:
+                trainer.quarantine_log.append(reason, record, seqno=entry.seqno)
         return trainer
 
     # -- ingestion -----------------------------------------------------------
 
-    def ingest(self, arrivals: Sequence[EdgeArrival]) -> IngestReport:
-        """Buffer a batch of arrivals (fault-mangled first, if injected).
+    def _crash_if(self, phase: str, generation: int) -> None:
+        if self.faults is not None and self.faults.crash_due(phase, generation):
+            from repro.faults import InjectedCrash
 
-        Malformed records are quarantined (``strict=False``) — a dirty
-        stream degrades accounting, never the trainer.
+            raise InjectedCrash(f"{phase} (generation {generation})")
+
+    def ingest(self, arrivals: Sequence[EdgeArrival]) -> IngestReport:
+        """Journal, then buffer, a batch of arrivals (fault-mangled first,
+        if injected).
+
+        Write-ahead discipline: the batch — exactly as it will hit the
+        overlay, i.e. *after* any fault mangling — is durably appended to
+        the journal before the overlay sees it, so a crash at any later
+        point replays it. Malformed records are quarantined
+        (``strict=False``) and mirrored to the sidecar — a dirty stream
+        degrades accounting, never the trainer.
         """
         arrivals = list(arrivals)
         if self.faults is not None:
             arrivals = self.faults.mangle_arrivals(arrivals)
         pairs, ts = arrivals_to_arrays(arrivals)
-        return self.overlay.ingest_pairs(pairs, timestamps=ts, strict=False)
+        if len(arrivals) == 0:
+            return IngestReport()
+        seqno = self.journal.append_edges(pairs, ts)
+        self._crash_if("post-journal-append", self.generation)
+        before = len(self.overlay.quarantined)
+        report = self.overlay.ingest_pairs(pairs, timestamps=ts, strict=False)
+        for reason, record in self.overlay.quarantined[before:]:
+            self.quarantine_log.append(reason, record, seqno=seqno)
+        return report
 
     # -- the generation loop -------------------------------------------------
 
@@ -205,8 +479,12 @@ class StreamTrainer:
         n_iter = int(n_iterations or self.iterations_per_generation)
         ingest_report = self.ingest(arrivals) if arrivals else IngestReport()
 
+        # Everything journaled up to here goes into this generation's
+        # digested graph; the manifest will promise exactly that.
+        digest_seqno = self.journal.last_seqno
         n_before = self.overlay.base.n_vertices
-        graph = self.overlay.compact(self.workdir / f"graph_g{gen:04d}.csr")
+        graph_path = self.workdir / f"graph_g{gen:04d}.csr"
+        graph = self.overlay.compact(graph_path)
         n_new_nodes = graph.n_vertices - n_before
 
         if self.state is None:
@@ -252,6 +530,7 @@ class StreamTrainer:
         save_state_checkpoint(
             checkpoint_path, self.state, self.iteration, self.config
         )
+        self._crash_if("post-checkpoint-pre-publish", gen)
 
         published = False
         publish_error: Optional[str] = None
@@ -270,6 +549,7 @@ class StreamTrainer:
                 self.last_published = self.publish_path
                 if self.publish_callback is not None:
                     self.publish_callback(self.publish_path, gen)
+        self._crash_if("post-publish-pre-manifest", gen)
 
         report = GenerationReport(
             generation=gen,
@@ -287,6 +567,18 @@ class StreamTrainer:
         )
         self.reports.append(report)
         self.generation += 1
+
+        # Durable commit point: the manifest is the generation's single
+        # atomic truth, and only after it lands may the journal GC frames
+        # it now covers (GC first + crash would lose the suffix).
+        self._graph_path = graph_path
+        self._checkpoint_path = checkpoint_path
+        self.digested_seqno = digest_seqno
+        self._write_manifest()
+        self.journal.compact(
+            digest_seqno,
+            crash_hook=lambda: self._crash_if("mid-compaction", gen),
+        )
         return report
 
     def _train_mp(self, heldout: HeldoutSplit, n_iter: int, gen: int) -> None:

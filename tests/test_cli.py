@@ -404,6 +404,61 @@ class TestStreamCommand:
         assert rc == 2
         assert "no usable edges" in capsys.readouterr().err
 
+    def test_resume_continues_and_fresh_workdir_refused(self, tmp_path, capsys):
+        edges = tmp_path / "g.txt"
+        main(["generate", "--vertices", "130", "--communities", "3",
+              "--output", str(edges)])
+        base_args = ["stream", "--edges", str(edges), "-k", "3",
+                     "--iterations", "20", "--generations", "1",
+                     "--workdir", str(tmp_path / "wd")]
+        assert main(base_args) == 0
+        capsys.readouterr()
+        # A fresh run refuses the used workdir; --resume continues it.
+        assert main(base_args) == 2
+        assert "--resume" in capsys.readouterr().err
+        rc = main(base_args + ["--resume"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "resumed generation" in captured.err
+        assert "final artifact" in captured.err
+
+    def test_follow_bounded_run(self, tmp_path, capsys):
+        edges = tmp_path / "g.txt"
+        main(["generate", "--vertices", "130", "--communities", "3",
+              "--output", str(edges)])
+        rc = main(["stream", "--edges", str(edges), "-k", "3",
+                   "--iterations", "10", "--workdir", str(tmp_path / "wd"),
+                   "--follow", "--trigger-edges", "50",
+                   "--poll-interval", "0.05", "--max-seconds", "2"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "following" in captured.err
+        assert "follow ended" in captured.err
+
+
+class TestChaosStream:
+    def test_drill_passes_and_writes_report(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "chaos_stream.json"
+        rc = main(["chaos-stream", "--quick", "--seed", "2026",
+                   "--output", str(out_path)])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "result: PASS" in captured.out
+        assert "all durability invariants held" in captured.err
+        report = json.loads(out_path.read_text())
+        assert report["passed"] is True
+        assert all(report["invariants"].values())
+        assert set(report["invariants"]) >= {
+            "no_lost_edges",
+            "no_duplicate_edges",
+            "csr_matches_reference",
+            "torn_tail_repaired",
+            "quarantine_persisted",
+            "source_retry_recovered",
+        }
+
 
 class TestServeDrift:
     def test_drift_verb_over_line_protocol(self, trained_artifact, capsys,

@@ -322,3 +322,57 @@ class TestMembershipDrift:
             server.publish(_perturbed(art))
             d = server.query("membership_drift", 1, None)
             assert len(d["generations"]) == 2
+
+
+class TestHistoryPersistence:
+    """drift history checkpointed beside the artifact survives restarts."""
+
+    def _drain(self, server, fut):
+        server.process_once()
+        return fut.result(timeout=5)
+
+    def test_restart_resumes_drift_history(self, tmp_path):
+        art = _artifact()
+        swapped = _perturbed(art)
+        hpath = tmp_path / "history.npz"
+        with ModelServer(
+            art, n_workers=0, drift_window=4, history_path=hpath
+        ) as server:
+            server.publish(swapped)
+        assert hpath.exists()
+        # Restart on the already-recorded artifact: the history reloads
+        # and the same version is NOT recorded twice.
+        with ModelServer(
+            swapped, n_workers=0, drift_window=4, history_path=hpath
+        ) as server:
+            d = self._drain(server, server.membership_drift(0))
+            assert [g["generation"] for g in d["generations"]] == [0, 1]
+
+    def test_restart_with_new_artifact_extends_history(self, tmp_path):
+        art = _artifact()
+        hpath = tmp_path / "history.npz"
+        with ModelServer(
+            art, n_workers=0, drift_window=4, history_path=hpath
+        ) as server:
+            server.publish(_perturbed(art))
+        with ModelServer(
+            _perturbed(art, seed=9), n_workers=0, drift_window=4,
+            history_path=hpath,
+        ) as server:
+            d = self._drain(server, server.membership_drift(0))
+            assert [g["generation"] for g in d["generations"]] == [0, 1, 2]
+
+    def test_fresh_history_written_at_startup(self, tmp_path):
+        hpath = tmp_path / "history.npz"
+        with ModelServer(
+            _artifact(), n_workers=0, drift_window=4, history_path=hpath
+        ):
+            pass
+        assert hpath.exists()
+
+    def test_no_history_path_keeps_memory_only_behavior(self):
+        art = _artifact()
+        with ModelServer(art, n_workers=0, drift_window=4) as server:
+            server.publish(_perturbed(art))
+            d = self._drain(server, server.membership_drift(0))
+            assert len(d["generations"]) == 2

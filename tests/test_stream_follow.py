@@ -1,0 +1,321 @@
+"""Supervised live tailing: triggers, backoff, stall deadlines, drains."""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+
+import numpy as np
+import pytest
+
+from repro.config import AMMSBConfig, StepSizeConfig
+from repro.faults import SourceFault, StreamFaultPlan
+from repro.stream import (
+    FileTailSource,
+    FollowSupervisor,
+    SourceStalled,
+    StreamTrainer,
+    SyntheticArrivalSource,
+    TriggerPolicy,
+    follow_stream,
+    write_arrival_file,
+)
+
+
+class FakeTime:
+    """Deterministic clock + sleep pair for supervisor tests."""
+
+    def __init__(self):
+        self.now = 0.0
+        self.sleeps = []
+
+    def clock(self):
+        return self.now
+
+    def sleep(self, s):
+        self.sleeps.append(s)
+        self.now += s
+
+
+class ListSource:
+    """Scripted source: each poll() pops the next canned batch / error."""
+
+    def __init__(self, script):
+        self.script = list(script)
+
+    def poll(self):
+        if not self.script:
+            return []
+        item = self.script.pop(0)
+        if isinstance(item, Exception):
+            raise item
+        return item
+
+
+def _config(seed=5):
+    return AMMSBConfig(
+        n_communities=4,
+        mini_batch_vertices=32,
+        neighbor_sample_size=16,
+        seed=seed,
+        step_phi=StepSizeConfig(a=0.05),
+        step_theta=StepSizeConfig(a=0.05),
+    )
+
+
+@pytest.fixture()
+def stream(planted):
+    graph, _ = planted
+    source = SyntheticArrivalSource(graph, base_fraction=0.85, seed=3)
+    return source.base_graph(), source.arrivals()
+
+
+def _trainer(base, tmp_path):
+    return StreamTrainer(
+        base,
+        _config(),
+        tmp_path / "work",
+        iterations_per_generation=8,
+        publish_path=tmp_path / "artifact.npz",
+        heldout_fraction=0.05,
+    )
+
+
+def _supervisor(source, ft, **kwargs):
+    kwargs.setdefault("poll_interval_s", 0.1)
+    kwargs.setdefault("backoff_initial_s", 0.1)
+    kwargs.setdefault("stall_deadline_s", 30.0)
+    return FollowSupervisor(source, sleep=ft.sleep, clock=ft.clock, **kwargs)
+
+
+class TestTriggerPolicy:
+    def test_nothing_pending_never_fires(self):
+        assert TriggerPolicy(max_edges=1).due(0, 1e9, 100) is None
+
+    def test_unarmed_fires_every_batch(self):
+        policy = TriggerPolicy()
+        assert not policy.armed
+        assert policy.due(1, 0.0, 100) == "every-batch"
+
+    def test_edges_trigger(self):
+        policy = TriggerPolicy(max_edges=10)
+        assert policy.due(9, 1e9, 100) is None or True  # seconds unarmed
+        assert policy.due(10, 0.0, 100) == "edges"
+        assert policy.due(9, 0.0, 100) is None
+
+    def test_seconds_trigger_needs_pending(self):
+        policy = TriggerPolicy(max_seconds=60.0)
+        assert policy.due(0, 120.0, 100) is None
+        assert policy.due(1, 120.0, 100) == "seconds"
+        assert policy.due(1, 30.0, 100) is None
+
+    def test_drift_trigger_is_a_fraction_of_base(self):
+        policy = TriggerPolicy(drift_threshold=0.1)
+        assert policy.due(9, 0.0, 100) is None
+        assert policy.due(10, 0.0, 100) == "drift"
+
+    def test_precedence_edges_first(self):
+        policy = TriggerPolicy(max_edges=5, max_seconds=1.0, drift_threshold=0.01)
+        assert policy.due(5, 100.0, 10) == "edges"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"max_edges": 0}, {"max_seconds": 0.0}, {"drift_threshold": 0.0}],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            TriggerPolicy(**kwargs)
+
+
+class TestFollowSupervisor:
+    def test_transient_errors_backoff_then_recover(self):
+        ft = FakeTime()
+        src = ListSource([OSError("flap"), OSError("flap"), [1, 2], []])
+        sup = _supervisor(src, ft, backoff_jitter=0.0)
+        assert sup.poll() == []
+        assert sup.poll() == []
+        assert sup.poll() == [1, 2]
+        assert sup.failures == 2 and sup.consecutive_failures == 0
+        # exponential: second backoff doubles the first.
+        assert ft.sleeps == [0.1, 0.2]
+
+    def test_backoff_capped(self):
+        ft = FakeTime()
+        src = ListSource([OSError("x")] * 6)
+        sup = _supervisor(
+            src, ft, backoff_jitter=0.0, backoff_max_s=0.4,
+            stall_deadline_s=None,
+        )
+        for _ in range(6):
+            sup.poll()
+        assert max(ft.sleeps) == 0.4
+
+    def test_jitter_bounded(self):
+        ft = FakeTime()
+        src = ListSource([OSError("x")] * 20)
+        sup = _supervisor(
+            src, ft, backoff_jitter=0.5, backoff_max_s=0.1,
+            stall_deadline_s=None,
+        )
+        for _ in range(20):
+            sup.poll()
+        assert all(0.05 <= s <= 0.15 for s in ft.sleeps[2:])
+
+    def test_stall_deadline_raises_typed_error(self):
+        ft = FakeTime()
+        src = ListSource([OSError("gone")] * 100)
+        sup = _supervisor(src, ft, backoff_jitter=0.0, stall_deadline_s=1.0)
+        with pytest.raises(SourceStalled, match="unreadable") as err:
+            for _ in range(100):
+                sup.poll()
+        assert err.value.failures > 1
+
+    def test_success_resets_the_stall_window(self):
+        ft = FakeTime()
+        script = ([OSError("x")] * 5 + [[1]]) * 40
+        sup = _supervisor(
+            ListSource(script), ft, backoff_jitter=0.0,
+            backoff_initial_s=0.2, stall_deadline_s=1e4,
+        )
+        for _ in range(len(script)):
+            sup.poll()  # never stalls: each success resets the window
+
+    def test_injected_source_faults(self):
+        ft = FakeTime()
+        src = ListSource([[1], [2], [3]])
+        sup = _supervisor(
+            src, ft, backoff_jitter=0.0,
+            faults=StreamFaultPlan(
+                seed=0, source_faults=(SourceFault(poll=1, errors=2),)
+            ),
+        )
+        results = [sup.poll() for _ in range(5)]
+        assert results == [[1], [], [], [2], [3]]
+        assert sup.failures == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FollowSupervisor(ListSource([]), poll_interval_s=-1)
+        with pytest.raises(ValueError):
+            FollowSupervisor(ListSource([]), backoff_initial_s=0)
+        with pytest.raises(ValueError):
+            FollowSupervisor(ListSource([]), backoff_jitter=1.0)
+        with pytest.raises(ValueError):
+            FollowSupervisor(ListSource([]), stall_deadline_s=0)
+
+
+class TestFollowStream:
+    def test_edges_trigger_fires_and_idle_exit_drains(self, stream, tmp_path):
+        base, arrivals = stream
+        feed = write_arrival_file(tmp_path / "feed.txt", arrivals)
+        trainer = _trainer(base, tmp_path)
+        ft = FakeTime()
+        sup = _supervisor(FileTailSource(feed, strict=False), ft)
+        report = follow_stream(
+            trainer,
+            sup,
+            TriggerPolicy(max_edges=max(1, len(arrivals) // 2)),
+            idle_exit_polls=3,
+            n_iterations=8,
+        )
+        assert report.stop_reason == "idle"
+        assert report.arrivals == len(arrivals)
+        assert "edges" in report.triggers
+        assert trainer.overlay.n_pending == 0  # drained before returning
+        trainer.journal.close()
+
+    def test_stop_event_drains_pending(self, stream, tmp_path):
+        base, arrivals = stream
+        feed = write_arrival_file(tmp_path / "feed.txt", arrivals)
+        trainer = _trainer(base, tmp_path)
+        ft = FakeTime()
+        sup = _supervisor(FileTailSource(feed, strict=False), ft)
+        stop = threading.Event()
+        polls = []
+        original = sup.poll
+
+        def poll_then_stop():
+            out = original()
+            polls.append(len(out))
+            stop.set()
+            return out
+
+        sup.poll = poll_then_stop
+        report = follow_stream(
+            trainer,
+            sup,
+            TriggerPolicy(max_edges=10**9),  # never fires on its own
+            stop_event=stop,
+            n_iterations=8,
+        )
+        assert report.stop_reason == "stop-event"
+        assert report.drained and len(report.generations) == 1
+        assert report.triggers == ["drain"]
+        assert trainer.overlay.n_pending == 0
+        trainer.journal.close()
+
+    def test_max_generations_bounds_the_loop(self, stream, tmp_path):
+        base, arrivals = stream
+        feed = write_arrival_file(tmp_path / "feed.txt", arrivals)
+        trainer = _trainer(base, tmp_path)
+        ft = FakeTime()
+        sup = _supervisor(FileTailSource(feed, strict=False), ft)
+        report = follow_stream(
+            trainer, sup, TriggerPolicy(), max_generations=1, n_iterations=8
+        )
+        assert report.stop_reason == "max-generations"
+        assert len(report.generations) == 1
+        trainer.journal.close()
+
+    def test_sigterm_drains_and_restores_handler(self, stream, tmp_path):
+        base, arrivals = stream
+        feed = write_arrival_file(tmp_path / "feed.txt", arrivals)
+        trainer = _trainer(base, tmp_path)
+        sup = FollowSupervisor(
+            FileTailSource(feed, strict=False), poll_interval_s=0.01
+        )
+        before = signal.getsignal(signal.SIGTERM)
+        timer = threading.Timer(0.3, os.kill, (os.getpid(), signal.SIGTERM))
+        timer.start()
+        try:
+            report = follow_stream(
+                trainer,
+                sup,
+                TriggerPolicy(max_edges=10**9),
+                install_signal_handlers=True,
+                max_wall_s=30.0,
+                n_iterations=8,
+            )
+        finally:
+            timer.cancel()
+        assert report.stop_reason == "signal:SIGTERM"
+        assert report.drained
+        assert trainer.overlay.n_pending == 0
+        assert signal.getsignal(signal.SIGTERM) is before
+        trainer.journal.close()
+
+    def test_rotation_mid_follow_keeps_every_edge(self, stream, tmp_path):
+        base, arrivals = stream
+        cut = 3 * len(arrivals) // 4
+        feed = write_arrival_file(tmp_path / "feed.txt", arrivals[:cut])
+        tail = FileTailSource(feed, strict=False)
+        trainer = _trainer(base, tmp_path)
+        ft = FakeTime()
+        sup = _supervisor(tail, ft)
+        follow_stream(trainer, sup, TriggerPolicy(), idle_exit_polls=2,
+                      n_iterations=8)
+        # Rotate to a strictly smaller replacement holding the tail.
+        write_arrival_file(tmp_path / "feed.next", arrivals[cut:])
+        (tmp_path / "feed.next").replace(feed)
+        follow_stream(trainer, sup, TriggerPolicy(), idle_exit_polls=2,
+                      n_iterations=8)
+        assert tail.n_rotations == 1
+        expected = {
+            (min(a.src, a.dst), max(a.src, a.dst)) for a in arrivals
+        }
+        digested = {
+            (int(lo), int(hi)) for lo, hi in trainer.overlay.base.edges
+        }
+        assert expected <= digested
+        trainer.journal.close()

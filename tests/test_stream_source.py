@@ -79,6 +79,50 @@ class TestFileTailSource:
         back = FileTailSource(path).read_all()
         assert back == arrivals
 
+    def test_rotation_resets_to_top_of_new_file(self, tmp_path):
+        """A file that shrank was rotated in place: re-read from offset 0."""
+        path = tmp_path / "arr.txt"
+        path.write_text("1.0 0 1\n2.0 1 2\n3.0 2 3\n")
+        src = FileTailSource(path)
+        assert len(src.poll()) == 3
+        # Rotate: a strictly smaller replacement lands atomically.
+        rotated = tmp_path / "arr.next"
+        rotated.write_text("4.0 5 6\n")
+        rotated.replace(path)
+        assert src.poll() == [EdgeArrival(4.0, 5, 6)]
+        assert src.n_rotations == 1
+        assert src.poll() == []
+
+    def test_rotation_resniffs_the_column_layout(self, tmp_path):
+        path = tmp_path / "arr.txt"
+        path.write_text("1.0 0 1\n2.0 1 2\n")
+        src = FileTailSource(path)
+        src.poll()
+        rotated = tmp_path / "arr.next"
+        rotated.write_text("5 6\n")  # 2-column layout after rotation
+        rotated.replace(path)
+        [arrival] = src.poll()
+        assert (arrival.src, arrival.dst) == (5, 6)
+
+    def test_missing_file_propagates(self, tmp_path):
+        src = FileTailSource(tmp_path / "gone.txt")
+        with pytest.raises(FileNotFoundError):
+            src.poll()
+
+    def test_seek_positions_the_tail(self, tmp_path):
+        path = tmp_path / "arr.txt"
+        path.write_text("1.0 0 1\n2.0 1 2\n")
+        src = FileTailSource(path)
+        src.poll()
+        offset = src.offset
+        assert offset == path.stat().st_size
+        src.seek(0)
+        assert len(src.poll()) == 2  # re-read; downstream dedup absorbs
+        src.seek(offset)
+        assert src.poll() == []
+        with pytest.raises(ValueError):
+            src.seek(-1)
+
 
 class TestArrivalsToArrays:
     def test_shapes_and_values(self):

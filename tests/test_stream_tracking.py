@@ -159,3 +159,56 @@ class TestRing:
             MembershipHistory(window=0)
         with pytest.raises(ValueError):
             MembershipHistory(event_threshold=3.0)
+
+
+class TestPersistence:
+    """save/load: the ring survives a server restart bit-for-bit."""
+
+    def test_round_trip_preserves_drift_answers(self, rng, tmp_path):
+        pi = _crisp_pi(12, 3, rng)
+        hist = MembershipHistory(window=4, top_k=2)
+        for g in range(3):
+            art = _artifact(np.roll(pi, g, axis=0))
+            hist.record(art, g)
+        path = hist.save(tmp_path / "history.npz")
+        back = MembershipHistory.load(path)
+        assert back.last_version == hist.last_version
+        for node in (0, 5, 11):
+            assert back.drift(node) == hist.drift(node)
+
+    def test_round_trip_keeps_recording(self, rng, tmp_path):
+        pi = _crisp_pi(10, 3, rng)
+        hist = MembershipHistory(window=4)
+        hist.record(_artifact(pi), 0)
+        back = MembershipHistory.load(hist.save(tmp_path / "h.npz"))
+        back.record_next(_artifact(_crisp_pi(10, 3, rng)))
+        gens = [g["generation"] for g in back.drift(0)["generations"]]
+        assert gens == [0, 1]
+
+    def test_record_next_numbers_from_the_ring(self, rng):
+        hist = MembershipHistory(window=4)
+        art = _artifact(_crisp_pi(8, 3, rng))
+        hist.record_next(art)
+        hist.record_next(art)
+        gens = [g["generation"] for g in hist.drift(0)["generations"]]
+        assert gens == [0, 1]
+        assert hist.last_version == art.version
+
+    def test_missing_file_raises_typed_error(self, tmp_path):
+        from repro.stream import StreamError
+
+        with pytest.raises(StreamError, match="does not exist"):
+            MembershipHistory.load(tmp_path / "nope.npz")
+
+    def test_corrupt_file_raises_typed_error(self, tmp_path):
+        from repro.stream import StreamError
+
+        path = tmp_path / "h.npz"
+        path.write_bytes(b"definitely not a zip archive")
+        with pytest.raises(StreamError):
+            MembershipHistory.load(path)
+
+    def test_empty_history_round_trips(self, tmp_path):
+        hist = MembershipHistory(window=4)
+        back = MembershipHistory.load(hist.save(tmp_path / "h.npz"))
+        assert back.last_version is None
